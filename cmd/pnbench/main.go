@@ -1,0 +1,107 @@
+// Command pnbench regenerates the paper's figures.
+//
+// Usage:
+//
+//	pnbench -figure 5                 # one figure, default profile
+//	pnbench -figure all -profile paper
+//	pnbench -figure 3 -csv out/      # also write CSV files
+//
+// Profiles: fast (seconds), default (a minute or two), paper (the
+// published scale: 10,000 tasks, 50 processors, 20 repeats, 1000
+// generations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"pnsched/internal/experiments"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "paper figure (3-11), supplementary experiment (extended, scalability, dynamic), 'all' figures, or 'everything'")
+		profile = flag.String("profile", "default", "experiment scale: fast, default, or paper")
+		seed    = flag.Uint64("seed", 0, "override the profile's base seed")
+		workers = flag.Int("workers", 0, "parallel workers (0: all CPUs)")
+		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
+	)
+	flag.Parse()
+
+	p, err := profileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *workers != 0 {
+		p.Workers = *workers
+	}
+
+	var names []string
+	switch *figure {
+	case "all":
+		for _, fig := range experiments.Figures {
+			names = append(names, strconv.Itoa(fig))
+		}
+	case "everything":
+		for _, fig := range experiments.Figures {
+			names = append(names, strconv.Itoa(fig))
+		}
+		names = append(names, experiments.Supplementary...)
+	default:
+		names = []string{*figure}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		var csv *os.File
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			label := name
+			if _, err := strconv.Atoi(name); err == nil {
+				label = "fig" + name
+			}
+			path := filepath.Join(*csvDir, label+".csv")
+			csv, err = os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if csv != nil {
+			err = experiments.RenderNamed(name, p, os.Stdout, csv)
+			csv.Close()
+		} else {
+			err = experiments.RenderNamed(name, p, os.Stdout, nil)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func profileByName(name string) (experiments.Profile, error) {
+	switch name {
+	case "fast":
+		return experiments.Fast(), nil
+	case "default":
+		return experiments.Default(), nil
+	case "paper":
+		return experiments.Paper(), nil
+	default:
+		return experiments.Profile{}, fmt.Errorf("unknown profile %q (want fast, default, or paper)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnbench:", err)
+	os.Exit(1)
+}

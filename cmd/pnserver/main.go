@@ -1,0 +1,118 @@
+// Command pnserver runs the dedicated scheduling processor of the
+// paper's §3 as a real TCP service: it loads (or generates) a workload,
+// waits for pnworker clients to connect, schedules batches with the PN
+// genetic algorithm, and reports progress until every task completes.
+//
+// Usage:
+//
+//	pnserver -listen :9000 -tasks 500 &
+//	pnworker -connect localhost:9000 -rate 100 &
+//	pnworker -connect localhost:9000 -rate 400 &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pnsched/internal/core"
+	"pnsched/internal/dist"
+	"pnsched/internal/rng"
+	"pnsched/internal/sched"
+	"pnsched/internal/task"
+	"pnsched/internal/workload"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9000", "address to listen on")
+		nTasks  = flag.Int("tasks", 500, "tasks to generate (ignored with -workload)")
+		wlFile  = flag.String("workload", "", "load tasks from a pnworkload JSON file")
+		batch   = flag.Int("batch", sched.DefaultBatchSize, "initial/fixed batch size")
+		dynamic = flag.Bool("dynamic-batch", true, "size batches dynamically (§3.7)")
+		gens    = flag.Int("generations", 1000, "GA generations per batch")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	var tasks []task.Task
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		if err != nil {
+			fatal(err)
+		}
+		tasks, err = workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		tasks = workload.Generate(workload.Spec{
+			N:     *nTasks,
+			Sizes: workload.Uniform{Lo: 10, Hi: 1000},
+		}, rng.New(*seed))
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Generations = *gens
+	cfg.InitialBatch = *batch
+	cfg.FixedBatch = !*dynamic
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := dist.NewServer(dist.ServerConfig{
+		Scheduler: core.NewPN(cfg, rng.New(*seed).Stream(1)),
+		Logf:      logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	go func() {
+		if err := srv.ListenAndServe(*listen); err != nil {
+			fatal(err)
+		}
+	}()
+	// Give the listener a moment, then report where we are.
+	time.Sleep(100 * time.Millisecond)
+	if a := srv.Addr(); a != nil {
+		log.Printf("pnserver: listening on %v with %d tasks", a, len(tasks))
+	}
+
+	srv.Submit(tasks)
+
+	// Progress loop.
+	start := time.Now()
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait(0) }()
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				fatal(err)
+			}
+			sub, comp, reissued, workers := srv.Stats()
+			log.Printf("pnserver: %d/%d tasks complete (%d rescheduled) across %d workers in %v",
+				comp, sub, reissued, workers, time.Since(start).Round(time.Millisecond))
+			return
+		case <-tick.C:
+			sub, comp, reissued, workers := srv.Stats()
+			if !*quiet {
+				log.Printf("pnserver: progress %d/%d (reissued %d, workers %d)", comp, sub, reissued, workers)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnserver:", err)
+	os.Exit(1)
+}

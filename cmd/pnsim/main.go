@@ -1,0 +1,209 @@
+// Command pnsim runs a single scheduling simulation and prints its
+// metrics — a quick way to compare schedulers on one scenario.
+//
+// Usage:
+//
+//	pnsim -sched PN -tasks 1000 -procs 50 -dist normal -comm 10
+//	pnsim -sched RR -dist poisson -mean 100
+//	pnsim -sched all -tasks 500        # run every scheduler
+//	pnsim -workload tasks.json -sched EF
+//	pnsim -scenario scenario.json -gantt
+//
+// A -scenario file fully describes cluster, network, workload and
+// scheduler (see internal/scenario); other scenario flags are then
+// ignored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pnsched/internal/cluster"
+	"pnsched/internal/core"
+	"pnsched/internal/metrics"
+	"pnsched/internal/network"
+	"pnsched/internal/rng"
+	"pnsched/internal/scenario"
+	"pnsched/internal/sched"
+	"pnsched/internal/sim"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+	"pnsched/internal/workload"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "PN", "scheduler: EF, LL, RR, ZO, PN, MM, MX, or 'all'")
+		nTasks    = flag.Int("tasks", 1000, "number of tasks")
+		procs     = flag.Int("procs", 50, "number of processors")
+		rateLo    = flag.Float64("rate-lo", 10, "minimum processor rate (Mflop/s)")
+		rateHi    = flag.Float64("rate-hi", 100, "maximum processor rate (Mflop/s)")
+		dist      = flag.String("dist", "normal", "task-size distribution: normal, uniform, poisson, constant")
+		mean      = flag.Float64("mean", 1000, "mean size (normal/poisson/constant), MFLOPs")
+		variance  = flag.Float64("variance", 9e5, "size variance (normal)")
+		lo        = flag.Float64("lo", 10, "lower size bound (uniform)")
+		hi        = flag.Float64("hi", 1000, "upper size bound (uniform)")
+		comm      = flag.Float64("comm", 10, "mean communication cost per task (seconds)")
+		spread    = flag.Float64("comm-spread", 0.3, "per-link spread of mean comm cost (fraction)")
+		jitter    = flag.Float64("comm-jitter", 0.2, "per-transfer jitter (fraction)")
+		gens      = flag.Int("generations", 1000, "GA generations (PN/ZO)")
+		batch     = flag.Int("batch", 200, "batch size for batch schedulers")
+		dynamic   = flag.Bool("dynamic-batch", false, "let PN size batches dynamically (§3.7)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		wlFile    = flag.String("workload", "", "load tasks from a pnworkload JSON file instead of generating")
+		gantt     = flag.Bool("gantt", false, "print a per-processor activity timeline after each run")
+		scenFile  = flag.String("scenario", "", "run a scenario JSON file (overrides the other scenario flags)")
+	)
+	flag.Parse()
+
+	if *scenFile != "" {
+		runScenario(*scenFile, *gantt)
+		return
+	}
+
+	base := rng.New(*seed)
+	var tasks []task.Task
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		if err != nil {
+			fatal(err)
+		}
+		tasks, err = workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		d, err := distByName(*dist, *mean, *variance, *lo, *hi)
+		if err != nil {
+			fatal(err)
+		}
+		tasks = workload.Generate(workload.Spec{N: *nTasks, Sizes: d}, base.Stream(1))
+	}
+
+	names := []string{*schedName}
+	if *schedName == "all" {
+		names = []string{"EF", "LL", "RR", "ZO", "PN", "MM", "MX"}
+	}
+
+	tbl := metrics.Table{
+		Title:  fmt.Sprintf("%d tasks on %d processors, mean comm %.2gs, seed %d", len(tasks), *procs, *comm, *seed),
+		Header: []string{"scheduler", "makespan", "efficiency", "sched-busy", "invocations"},
+	}
+	for _, name := range names {
+		clu := cluster.NewHeterogeneous(*procs, units.Rate(*rateLo), units.Rate(*rateHi), rng.New(*seed).Stream(2))
+		net := network.New(*procs, network.Config{
+			MeanCost:   units.Seconds(*comm),
+			LinkSpread: *spread,
+			Jitter:     *jitter,
+		}, rng.New(*seed).Stream(3))
+		s, err := schedByName(name, *gens, *batch, *dynamic, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := sim.Config{Cluster: clu, Net: net, Tasks: tasks, Scheduler: s}
+		if b, ok := s.(sched.Batch); ok {
+			if _, sizes := s.(sched.BatchSizer); !sizes {
+				cfg.BatchSizer = sched.FixedBatch{Batch: b, Size: *batch}
+			}
+		}
+		var tl *sim.Timeline
+		if *gantt {
+			tl = sim.NewTimeline(*procs)
+			cfg.Timeline = tl
+		}
+		res := sim.Run(cfg)
+		if res.Completed != len(tasks) {
+			fmt.Fprintf(os.Stderr, "pnsim: %s completed only %d of %d tasks\n", name, res.Completed, len(tasks))
+		}
+		tbl.AddRow(name, res.Makespan, res.Efficiency, res.SchedulerBusy, res.Invocations)
+		if tl != nil {
+			fmt.Printf("\n%s timeline:\n", name)
+			tl.Gantt(os.Stdout, 96)
+			fmt.Println()
+		}
+	}
+	tbl.Render(os.Stdout)
+}
+
+// runScenario executes a scenario file once and prints its metrics.
+func runScenario(path string, gantt bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := scenario.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := spec.Build(func(name string) (io.ReadCloser, error) {
+		return os.Open(name)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	var tl *sim.Timeline
+	if gantt {
+		tl = sim.NewTimeline(cfg.Cluster.M())
+		cfg.Timeline = tl
+	}
+	res := sim.Run(cfg)
+	tbl := metrics.Table{
+		Title:  fmt.Sprintf("scenario %s: %s on %d processors", path, cfg.Scheduler.Name(), cfg.Cluster.M()),
+		Header: []string{"makespan", "efficiency", "completed", "reissued", "sched-busy"},
+	}
+	tbl.AddRow(res.Makespan, res.Efficiency, res.Completed, res.Reissued, res.SchedulerBusy)
+	tbl.Render(os.Stdout)
+	if tl != nil {
+		fmt.Println()
+		tl.Gantt(os.Stdout, 96)
+	}
+}
+
+func distByName(name string, mean, variance, lo, hi float64) (workload.SizeDistribution, error) {
+	switch name {
+	case "normal":
+		return workload.Normal{Mean: units.MFlops(mean), Variance: variance}, nil
+	case "uniform":
+		return workload.Uniform{Lo: units.MFlops(lo), Hi: units.MFlops(hi)}, nil
+	case "poisson":
+		return workload.Poisson{Mean: units.MFlops(mean)}, nil
+	case "constant":
+		return workload.Constant{Size: units.MFlops(mean)}, nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", name)
+	}
+}
+
+func schedByName(name string, gens, batch int, dynamic bool, seed uint64) (sched.Scheduler, error) {
+	cfg := core.DefaultConfig()
+	cfg.Generations = gens
+	cfg.InitialBatch = batch
+	cfg.FixedBatch = !dynamic
+	switch name {
+	case "EF":
+		return sched.EF{}, nil
+	case "LL":
+		return sched.LL{}, nil
+	case "RR":
+		return &sched.RR{}, nil
+	case "MM":
+		return sched.MM{}, nil
+	case "MX":
+		return sched.MX{}, nil
+	case "PN":
+		return core.NewPN(cfg, rng.New(seed).Stream(4)), nil
+	case "ZO":
+		return core.NewZO(cfg, rng.New(seed).Stream(4)), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command pnworker is a client processor for pnserver: it rates itself
+// with the Linpack benchmark (or a claimed -rate), connects to the
+// scheduling server, and processes tasks until shut down.
+//
+// Usage:
+//
+//	pnworker -connect localhost:9000              # Linpack-rated
+//	pnworker -connect localhost:9000 -rate 250    # claimed rate
+//	pnworker -connect localhost:9000 -timescale 0.001   # compressed time
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"pnsched/internal/dist"
+	"pnsched/internal/linpack"
+	"pnsched/internal/units"
+)
+
+func main() {
+	var (
+		connect   = flag.String("connect", "127.0.0.1:9000", "server address")
+		name      = flag.String("name", "", "worker name (default host-pid)")
+		rate      = flag.Float64("rate", 0, "claimed Mflop/s (0: measure with Linpack)")
+		timescale = flag.Float64("timescale", 1, "real seconds per simulated processing second")
+		linpackN  = flag.Int("linpack-n", 300, "Linpack problem size for self-rating")
+	)
+	flag.Parse()
+
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	r := units.Rate(*rate)
+	if r <= 0 {
+		measured, err := linpack.Rate(*linpackN, uint64(os.Getpid()))
+		if err != nil {
+			fatal(err)
+		}
+		r = measured
+		log.Printf("pnworker %s: Linpack(n=%d) rating %v", *name, *linpackN, r)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	log.Printf("pnworker %s: connecting to %s at %v", *name, *connect, r)
+	err := dist.RunWorker(ctx, *connect, dist.WorkerConfig{
+		Name:      *name,
+		Rate:      r,
+		TimeScale: *timescale,
+	})
+	if err != nil && err != context.Canceled {
+		fatal(err)
+	}
+	log.Printf("pnworker %s: done", *name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pnworker:", err)
+	os.Exit(1)
+}

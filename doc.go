@@ -1,0 +1,19 @@
+// Package pnsched reproduces "Dynamic task scheduling using genetic
+// algorithms for heterogeneous distributed computing" (Page & Naughton,
+// IPPS/IPDPS 2005): the PN dynamic batch-mode GA scheduler, the six
+// comparison schedulers of §4.1 (EF, LL, RR, MM, MX, ZO), a
+// discrete-event simulator of the heterogeneous distributed system the
+// paper evaluates on, a live TCP scheduler/worker runtime, and a
+// benchmark harness that regenerates every figure of the evaluation.
+//
+// Start with README.md for the layout, DESIGN.md for the system
+// inventory and substitutions, and EXPERIMENTS.md for paper-vs-measured
+// results. The runnable entry points are:
+//
+//	cmd/pnbench    — regenerate paper figures 3–11
+//	cmd/pnsim      — run a single scheduling simulation
+//	cmd/pnworkload — generate task-set files
+//	cmd/pnserver   — live TCP scheduling server (PN)
+//	cmd/pnworker   — live worker client (Linpack-rated)
+//	examples/*     — four annotated programs against the library API
+package pnsched

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"testing"
+
+	"pnsched/internal/rng"
+	"pnsched/internal/units"
+)
+
+func TestMarkovOnOffAlternates(t *testing.T) {
+	m := NewMarkovOnOff(10, 5, 1.0, 0.0, rng.New(1))
+	// Starts on.
+	if got := m.At(0); got != 1.0 {
+		t.Errorf("initial availability = %v, want 1 (on)", got)
+	}
+	// Walk boundaries: states must strictly alternate.
+	var tm units.Seconds
+	prev := m.At(tm)
+	for i := 0; i < 50; i++ {
+		tm = m.NextChange(tm)
+		cur := m.At(tm)
+		if cur == prev {
+			t.Fatalf("state did not flip at boundary %d (t=%v)", i, tm)
+		}
+		prev = cur
+	}
+}
+
+func TestMarkovOnOffDeterministic(t *testing.T) {
+	a := NewMarkovOnOff(10, 5, 0.9, 0.1, rng.New(7))
+	b := NewMarkovOnOff(10, 5, 0.9, 0.1, rng.New(7))
+	for i := 0; i < 200; i++ {
+		tm := units.Seconds(i) * 3.7
+		if a.At(tm) != b.At(tm) {
+			t.Fatalf("markov models diverged at t=%v", tm)
+		}
+	}
+}
+
+func TestMarkovOnOffQueriesOutOfOrder(t *testing.T) {
+	// Lazily extended segments must give consistent answers regardless
+	// of query order.
+	m := NewMarkovOnOff(10, 5, 1, 0, rng.New(9))
+	late := m.At(500)
+	early := m.At(1)
+	if m.At(500) != late || m.At(1) != early {
+		t.Error("out-of-order queries changed answers")
+	}
+	if m.At(-5) != m.At(0) {
+		t.Error("negative time not clamped")
+	}
+}
+
+func TestMarkovOnOffMeanDurations(t *testing.T) {
+	m := NewMarkovOnOff(20, 10, 1, 0, rng.New(11))
+	// Force generation of many segments and check mean durations per
+	// state are in the right ballpark.
+	m.extend(100000)
+	var onSum, offSum float64
+	var onN, offN int
+	var prev units.Seconds
+	for i, end := range m.boundaries {
+		d := float64(end - prev)
+		if m.states[i] {
+			onSum += d
+			onN++
+		} else {
+			offSum += d
+			offN++
+		}
+		prev = end
+	}
+	if onN < 100 || offN < 100 {
+		t.Fatalf("too few segments: %d on, %d off", onN, offN)
+	}
+	if mean := onSum / float64(onN); mean < 15 || mean > 25 {
+		t.Errorf("mean on duration = %v, want ~20", mean)
+	}
+	if mean := offSum / float64(offN); mean < 7.5 || mean > 12.5 {
+		t.Errorf("mean off duration = %v, want ~10", mean)
+	}
+}
+
+func TestMarkovOnOffValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMarkovOnOff(0, 5, 1, 0, rng.New(1)) },
+		func() { NewMarkovOnOff(5, 0, 1, 0, rng.New(1)) },
+		func() { NewMarkovOnOff(5, 5, 1.5, 0, rng.New(1)) },
+		func() { NewMarkovOnOff(5, 5, 1, -0.1, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid markov config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMarkovOnOffWithCompletionTime(t *testing.T) {
+	// CompletionTime must integrate across on/off segments without
+	// hanging: off level 0.5 means work always progresses.
+	m := NewMarkovOnOff(10, 10, 1, 0.5, rng.New(13))
+	p := &Processor{BaseRate: 10, Avail: m}
+	finish := p.CompletionTime(0, 1000)
+	if finish.IsInf() {
+		t.Fatal("completion infinite despite positive availability")
+	}
+	// Bounds: full availability would take 100s; half would take 200s.
+	if finish < 100 || finish > 200 {
+		t.Errorf("finish = %v, want within [100, 200]", finish)
+	}
+}

@@ -1,0 +1,82 @@
+// Package core implements the paper's contribution: the PN dynamic
+// genetic-algorithm scheduler for heterogeneous tasks on heterogeneous
+// processors (§3), together with the ZO comparator (Zomaya & Teh's
+// dynamic GA scheduler converted to heterogeneous rates, §4.1).
+//
+// A schedule is encoded as a permutation chromosome (§3.1): the unique
+// ids of the H tasks in the batch interleaved with M−1 delimiter
+// symbols partitioning the permutation into the M per-processor queues,
+// giving chromosomes of length H + M − 1.
+//
+// One deliberate deviation from the paper's notation: the paper writes
+// every delimiter as −1, but cycle crossover requires chromosomes to be
+// permutations of distinct symbols, so we use distinct negative ids
+// −1 … −(M−1). Decoding treats any negative symbol as a queue boundary,
+// so schedule semantics are unchanged.
+package core
+
+import (
+	"fmt"
+
+	"pnsched/internal/ga"
+	"pnsched/internal/task"
+)
+
+// Delimiter returns the k-th delimiter symbol (k in 1..M-1).
+func Delimiter(k int) int { return -k }
+
+// Encode converts per-processor queues of task ids into a chromosome.
+// queues must have one entry per processor; queues[j] lists the tasks
+// of processor j in order.
+func Encode(queues [][]task.ID) ga.Chromosome {
+	total := 0
+	for _, q := range queues {
+		total += len(q)
+	}
+	c := make(ga.Chromosome, 0, total+len(queues)-1)
+	for j, q := range queues {
+		if j > 0 {
+			c = append(c, Delimiter(j))
+		}
+		for _, id := range q {
+			c = append(c, int(id))
+		}
+	}
+	return c
+}
+
+// Decode splits a chromosome back into m per-processor queues. Any
+// negative symbol is a boundary; the i-th segment (in chromosome order)
+// becomes processor i's queue. It panics if the chromosome contains
+// more than m−1 delimiters — that chromosome was built for a different
+// cluster size and indicates a programming error.
+func Decode(c ga.Chromosome, m int) [][]task.ID {
+	queues := make([][]task.ID, m)
+	j := 0
+	for _, sym := range c {
+		if sym < 0 {
+			j++
+			if j >= m {
+				panic(fmt.Sprintf("core: chromosome has too many delimiters for %d processors", m))
+			}
+			continue
+		}
+		queues[j] = append(queues[j], task.ID(sym))
+	}
+	return queues
+}
+
+// ChromosomeLen returns the expected chromosome length for a batch of h
+// tasks on m processors: H + M − 1.
+func ChromosomeLen(h, m int) int { return h + m - 1 }
+
+// NumTasks returns the number of task symbols in the chromosome.
+func NumTasks(c ga.Chromosome) int {
+	n := 0
+	for _, sym := range c {
+		if sym >= 0 {
+			n++
+		}
+	}
+	return n
+}

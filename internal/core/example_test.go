@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pnsched/internal/core"
+	"pnsched/internal/rng"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// A schedule is a permutation of task ids partitioned by delimiter
+// symbols into per-processor queues (§3.1).
+func ExampleEncode() {
+	c := core.Encode([][]task.ID{{3, 1}, {}, {0, 2}})
+	fmt.Println(c)
+	fmt.Println(core.NumTasks(c), "tasks on", len(core.Decode(c, 3)), "processors")
+	// Output:
+	// [3 1 -1 -2 0 2]
+	// 4 tasks on 3 processors
+}
+
+// Evolve runs the §3 genetic algorithm over a snapshot of the system
+// and returns the best schedule found.
+func ExampleEvolve() {
+	batch := []task.Task{
+		{ID: 0, Size: 100},
+		{ID: 1, Size: 100},
+		{ID: 2, Size: 100},
+		{ID: 3, Size: 100},
+	}
+	// Two equal processors and equal tasks: the optimum splits 2/2 and
+	// the GA finds it.
+	p := core.BuildProblem(batch, []units.Rate{10, 10}, nil, nil, false)
+	r := rng.New(1)
+	cfg := core.DefaultConfig()
+	cfg.Generations = 100
+	st := core.Evolve(p, cfg, core.ListPopulation(p, cfg.Population, r), units.Inf(), r)
+	fmt.Printf("makespan %v (optimum %v)\n", st.BestMakespan, p.Psi())
+	// Output: makespan 20.000s (optimum 20.000s)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"pnsched/internal/ga"
+	"pnsched/internal/rng"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// ListPopulation builds an initial population with the paper's §3.3
+// list-scheduling heuristic: "A percentage of tasks are randomly
+// assigned to processors with the remaining tasks being assigned to the
+// processors that will finish processing them the earliest. This leads
+// to a well balanced randomised initial population."
+//
+// The random percentage varies across individuals — individual 0 is
+// pure earliest-finish, the last is fully random — giving the population
+// both quality and diversity.
+func ListPopulation(p *Problem, size int, r *rng.RNG) []ga.Chromosome {
+	if size < 1 {
+		size = 1
+	}
+	out := make([]ga.Chromosome, size)
+	for i := range out {
+		frac := 0.0
+		if size > 1 {
+			frac = float64(i) / float64(size-1)
+		}
+		out[i] = listSchedule(p, frac, r)
+	}
+	return out
+}
+
+// listSchedule builds one individual, assigning roughly frac of the
+// tasks uniformly at random and the rest to their earliest-finishing
+// processor given the loads (and communication estimates) accumulated
+// so far.
+func listSchedule(p *Problem, frac float64, r *rng.RNG) ga.Chromosome {
+	queues := make([][]task.ID, p.M)
+	loads := append([]units.MFlops(nil), p.Loads...)
+	counts := make([]int, p.M)
+	for _, idx := range r.Perm(len(p.Batch)) {
+		t := p.Batch[idx]
+		var j int
+		if r.Float64() < frac {
+			j = r.Intn(p.M)
+		} else {
+			j = p.earliestFinish(t.Size, loads, counts)
+		}
+		queues[j] = append(queues[j], t.ID)
+		loads[j] += t.Size
+		counts[j]++
+	}
+	return Encode(queues)
+}
+
+// earliestFinish returns the processor finishing a task of the given
+// size soonest: argmin_j (loads[j]+size)/Pⱼ + (counts[j]+1)·Γc(j).
+// Stopped processors (rate 0 → infinite finish) are avoided unless every
+// processor is stopped, in which case index 0 is returned.
+func (p *Problem) earliestFinish(size units.MFlops, loads []units.MFlops, counts []int) int {
+	bestJ := -1
+	bestFinish := units.Inf()
+	for j := 0; j < p.M; j++ {
+		finish := (loads[j] + size).TimeOn(p.Rates[j])
+		if p.IncludeComm {
+			finish += units.Seconds(float64(counts[j]+1) * float64(p.Comm[j]))
+		}
+		if finish < bestFinish {
+			bestFinish = finish
+			bestJ = j
+		}
+	}
+	if bestJ < 0 {
+		return 0
+	}
+	return bestJ
+}
+
+// RandomPopulation builds an initial population of uniformly random
+// schedules — the seeding used by the ZO comparator, which lacks the
+// list-scheduling heuristic.
+func RandomPopulation(p *Problem, size int, r *rng.RNG) []ga.Chromosome {
+	if size < 1 {
+		size = 1
+	}
+	// Base symbol list: all task ids plus the M−1 delimiters.
+	base := make([]int, 0, ChromosomeLen(len(p.Batch), p.M))
+	for _, t := range p.Batch {
+		base = append(base, int(t.ID))
+	}
+	for k := 1; k < p.M; k++ {
+		base = append(base, Delimiter(k))
+	}
+	out := make([]ga.Chromosome, size)
+	for i := range out {
+		c := make(ga.Chromosome, len(base))
+		copy(c, base)
+		r.Shuffle(len(c), func(a, b int) { c[a], c[b] = c[b], c[a] })
+		out[i] = c
+	}
+	return out
+}

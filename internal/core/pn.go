@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+
+	"pnsched/internal/ga"
+	"pnsched/internal/rng"
+	"pnsched/internal/sched"
+	"pnsched/internal/smoothing"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// Defaults for Config, straight from the paper.
+const (
+	// DefaultPopulation is the micro-GA population size (§4.2, citing
+	// Chipperfield & Flemming): "a population size of 20 ... speeds up
+	// computation time without impacting greatly on the final result".
+	DefaultPopulation = 20
+	// DefaultGenerations is the §3.4 cap: "The maximum number of
+	// generations is set at 1000".
+	DefaultGenerations = 1000
+	// DefaultRebalances is the §3.5 choice: "we have decided to only
+	// perform a single re-balancing at each generation to enable the
+	// algorithm to run quickly".
+	DefaultRebalances = 1
+	// DefaultInitialBatch is the batch size used before any idle-time
+	// history exists; §4.3 uses batches of 200.
+	DefaultInitialBatch = 200
+	// DefaultMaxBatch caps the dynamic batch size.
+	DefaultMaxBatch = 1000
+	// DefaultNu is the smoothing factor for the Γs estimate driving the
+	// dynamic batch size.
+	DefaultNu = 0.5
+	// DefaultCostPerGene is the modelled scheduler compute cost per
+	// gene evaluation, in seconds. One GA generation of a population of
+	// 20 over chromosomes of length 250 costs 20×250×200ns = 1 ms of
+	// simulated scheduler time, ~1 s per 1000-generation batch —
+	// matching the order of magnitude of the paper's Fig. 4 timings.
+	DefaultCostPerGene units.Seconds = 2e-7
+)
+
+// Config parametrises the GA schedulers (PN and ZO). The zero value of
+// most fields selects the paper's defaults; Rebalances is taken
+// literally (0 = pure GA), so use DefaultConfig as a starting point
+// when the paper's single-rebalance behaviour is wanted.
+type Config struct {
+	Population             int
+	Generations            int
+	Rebalances             int // §3.5 rebalance attempts per individual per generation
+	CrossoverFraction      float64
+	MutationsPerGeneration int
+	// Crossover selects the permutation operator; nil is the paper's
+	// cycle crossover. ga.PMX / ga.OX support operator ablations.
+	Crossover ga.Crossover
+
+	// Nu is the smoothing factor for the dynamic batch-size estimate Γs.
+	Nu float64
+	// FixedBatch disables the §3.7 dynamic batch-size rule, always
+	// using InitialBatch. The paper's efficiency sweeps (Figs. 5, 7)
+	// fix the batch at 200 for all schedulers; Fig. 6 exercises the
+	// dynamic rule.
+	FixedBatch bool
+	// InitialBatch is the batch size used while no idle-time history
+	// exists (and the fixed batch size for ZO and FixedBatch mode).
+	InitialBatch int
+	// MinBatch / MaxBatch clamp the dynamic batch size.
+	MinBatch, MaxBatch int
+	// BatchScale multiplies Γs inside the §3.7 square root,
+	// H = ⌊√(scale·Γs + 1)⌋; 1.0 reproduces the paper's formula.
+	BatchScale float64
+
+	// CostPerGene converts fitness-evaluation work into simulated
+	// scheduler time: cost = CostPerGene × chromosomeLength × evals.
+	// It is both the budget model for the §3.4 stop-when-idle condition
+	// and the scheduler-busy time charged by the simulator.
+	CostPerGene units.Seconds
+
+	// TargetMakespan stops evolution early once the best individual's
+	// predicted makespan drops to this value (§3.4 "if it is less than
+	// a specified minimum"); 0 disables.
+	TargetMakespan units.Seconds
+
+	// OnBestMakespan, when non-nil, observes the best predicted
+	// makespan after every generation — the instrumentation behind the
+	// paper's Fig. 3.
+	OnBestMakespan func(gen int, makespan units.Seconds)
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Population:             DefaultPopulation,
+		Generations:            DefaultGenerations,
+		Rebalances:             DefaultRebalances,
+		CrossoverFraction:      0.8,
+		MutationsPerGeneration: 1,
+		Nu:                     DefaultNu,
+		InitialBatch:           DefaultInitialBatch,
+		MinBatch:               1,
+		MaxBatch:               DefaultMaxBatch,
+		BatchScale:             1,
+		CostPerGene:            DefaultCostPerGene,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.Population == 0 {
+		c.Population = DefaultPopulation
+	}
+	if c.Generations == 0 {
+		c.Generations = DefaultGenerations
+	}
+	if c.CrossoverFraction == 0 {
+		c.CrossoverFraction = 0.8
+	}
+	if c.MutationsPerGeneration == 0 {
+		c.MutationsPerGeneration = 1
+	}
+	if c.Nu == 0 {
+		c.Nu = DefaultNu
+	}
+	if c.InitialBatch == 0 {
+		c.InitialBatch = DefaultInitialBatch
+	}
+	if c.MinBatch == 0 {
+		c.MinBatch = 1
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.BatchScale == 0 {
+		c.BatchScale = 1
+	}
+	if c.CostPerGene == 0 {
+		c.CostPerGene = DefaultCostPerGene
+	}
+}
+
+// BuildProblem constructs a Problem from explicit system beliefs — used
+// by experiments (Figs. 3–4) that exercise the GA outside a running
+// simulation. rates, loads and comm must each have one entry per
+// processor; comm may be nil when includeComm is false.
+func BuildProblem(batch []task.Task, rates []units.Rate, loads []units.MFlops, comm []units.Seconds, includeComm bool) *Problem {
+	m := len(rates)
+	p := &Problem{
+		Batch:       batch,
+		Set:         task.NewSet(batch),
+		M:           m,
+		Rates:       append([]units.Rate(nil), rates...),
+		Loads:       make([]units.MFlops, m),
+		Comm:        make([]units.Seconds, m),
+		IncludeComm: includeComm,
+	}
+	if loads != nil {
+		copy(p.Loads, loads)
+	}
+	if comm != nil {
+		copy(p.Comm, comm)
+	}
+	p.indexSizes()
+	p.psi = p.computePsi()
+	return p
+}
+
+// EvolveStats reports one GA scheduling run.
+type EvolveStats struct {
+	Result ga.Result
+	// BestMakespan is the lowest predicted makespan seen across all
+	// generations (§3.4 tracks "the individual with the lowest
+	// makespan").
+	BestMakespan units.Seconds
+	// Evals counts fitness evaluations, including those performed by
+	// the rebalancing heuristic.
+	Evals int
+	// ModelledCost is the simulated scheduler compute time for the run.
+	ModelledCost units.Seconds
+}
+
+// Evolve runs the §3 genetic algorithm once over a problem: seeded with
+// the supplied population, evolving under the paper's stopping
+// conditions (generation cap, target makespan, and the budget — the
+// modelled time until the first processor goes idle). It returns the
+// best schedule found.
+func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Seconds, r *rng.RNG) EvolveStats {
+	cfg.applyDefaults()
+	eval := p.Evaluator()
+	rb := NewRebalancer(p)
+	genes := ChromosomeLen(len(p.Batch), p.M)
+	// Modelled wall-clock cost of one generation: every individual is
+	// re-evaluated over the full chromosome.
+	perGen := float64(cfg.CostPerGene) * float64(genes) * float64(cfg.Population)
+
+	bestMakespan := units.Inf()
+	gaCfg := ga.Config{
+		PopulationSize:         cfg.Population,
+		MaxGenerations:         cfg.Generations,
+		CrossoverFraction:      cfg.CrossoverFraction,
+		Crossover:              cfg.Crossover,
+		MutationsPerGeneration: cfg.MutationsPerGeneration,
+		Elitism:                true,
+		OnGeneration: func(gen int, best ga.Chromosome, _ float64) {
+			mk := p.Makespan(best)
+			if mk < bestMakespan {
+				bestMakespan = mk
+			}
+			if cfg.OnBestMakespan != nil {
+				cfg.OnBestMakespan(gen, bestMakespan)
+			}
+		},
+		Stop: func(gen int, _ float64) bool {
+			if cfg.TargetMakespan > 0 && bestMakespan <= cfg.TargetMakespan {
+				return true
+			}
+			// §3.4: "The GA will also stop evolving if one of the
+			// processors becomes idle" — modelled as the cumulative
+			// compute cost exceeding the time budget.
+			if !budget.IsInf() && units.Seconds(float64(gen)*perGen) > budget {
+				return true
+			}
+			return false
+		},
+	}
+	if cfg.Rebalances > 0 {
+		gaCfg.PostGeneration = func(pop []ga.Chromosome, r *rng.RNG) {
+			for _, ind := range pop {
+				rb.Apply(ind, cfg.Rebalances, r)
+			}
+		}
+	}
+
+	res := ga.Run(gaCfg, eval, initial, r)
+	evals := res.Evaluations + rb.Evals
+	return EvolveStats{
+		Result:       res,
+		BestMakespan: bestMakespan,
+		Evals:        evals,
+		ModelledCost: units.Seconds(float64(cfg.CostPerGene) * float64(genes) * float64(evals)),
+	}
+}
+
+// PN is the paper's scheduler: a dynamic batch-mode GA scheduler for
+// heterogeneous tasks on heterogeneous processors that predicts
+// communication costs from smoothed history, seeds its population with
+// a list-scheduling heuristic, improves individuals with the
+// rebalancing heuristic, and sizes batches dynamically from the
+// smoothed time-to-first-idle estimate (§3.7).
+//
+// PN implements sched.Batch and sched.BatchSizer. It is stateful (the
+// Γs smoother persists across invocations) and not safe for concurrent
+// use; create one PN per simulation.
+type PN struct {
+	cfg Config
+	r   *rng.RNG
+	sp  *smoothing.Smoother
+}
+
+// NewPN returns a PN scheduler with the given configuration; zero
+// Config fields take the paper's defaults (note Rebalances: the zero
+// value means pure GA — use DefaultConfig() for the paper's single
+// rebalance).
+func NewPN(cfg Config, r *rng.RNG) *PN {
+	cfg.applyDefaults()
+	return &PN{cfg: cfg, r: r, sp: smoothing.New(cfg.Nu)}
+}
+
+// Name implements sched.Scheduler.
+func (pn *PN) Name() string { return "PN" }
+
+// Config returns the effective configuration (defaults applied).
+func (pn *PN) Config() Config { return pn.cfg }
+
+// NextBatchSize implements sched.BatchSizer with the §3.7 rule
+// H_{p+1} = ⌊√(Γs_p + 1)⌋: batches large enough to keep the scheduling
+// processor fully used, small enough that no processor goes idle while
+// the GA runs. Before any idle-time history exists the configured
+// initial batch size is used.
+func (pn *PN) NextBatchSize(queued int, s sched.State) int {
+	h := pn.cfg.InitialBatch
+	if sp := s.TimeUntilFirstIdle(); !pn.cfg.FixedBatch && !sp.IsInf() {
+		gs := pn.sp.Observe(pn.cfg.BatchScale * float64(sp))
+		h = int(math.Floor(math.Sqrt(gs + 1)))
+	}
+	if h < pn.cfg.MinBatch {
+		h = pn.cfg.MinBatch
+	}
+	if h > pn.cfg.MaxBatch {
+		h = pn.cfg.MaxBatch
+	}
+	if h > queued {
+		h = queued
+	}
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// ScheduleBatch implements sched.Batch: snapshot the system, seed a
+// list-scheduling population, evolve under the §3.4 stopping conditions,
+// and return the best schedule plus the modelled scheduler compute time.
+func (pn *PN) ScheduleBatch(batch []task.Task, s sched.State) (sched.Assignment, units.Seconds) {
+	p := NewProblem(batch, s, true)
+	initial := ListPopulation(p, pn.cfg.Population, pn.r)
+	st := Evolve(p, pn.cfg, initial, s.TimeUntilFirstIdle(), pn.r)
+	return p.Assignment(st.Result.Best), st.ModelledCost
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+
+	"pnsched/internal/ga"
+	"pnsched/internal/sched"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// Problem is an immutable snapshot of one batch-scheduling decision:
+// the batch of tasks plus everything the scheduler believes about the
+// system at invocation time. The GA evaluates thousands of chromosomes
+// against a single Problem, so all quantities are captured once.
+type Problem struct {
+	Batch []task.Task
+	Set   *task.Set
+	M     int
+	// Rates[j] is the believed execution rate Pⱼ of processor j.
+	Rates []units.Rate
+	// Loads[j] is the previously assigned but unprocessed load Lⱼ of
+	// processor j, in MFLOPs.
+	Loads []units.MFlops
+	// Comm[j] is the smoothed per-task communication estimate Γc for
+	// the link to processor j. The ZO scheduler zeroes this term via
+	// IncludeComm.
+	Comm []units.Seconds
+	// IncludeComm controls whether the Γc(y,j) term enters predicted
+	// completion times. PN sets it; ZO (which "only considers the
+	// effect of communication after tasks have been scheduled") clears
+	// it.
+	IncludeComm bool
+
+	psi units.Seconds // cached theoretical optimum
+
+	// Dense task-size index: sizes[sym-minID] for fast lookup in the
+	// GA's inner loop; nil when batch ids are too sparse, in which case
+	// Set is consulted.
+	sizes []units.MFlops
+	minID int
+}
+
+// indexSizes builds the dense size lookup when batch ids are compact
+// enough (the common case: ids are assigned sequentially).
+func (p *Problem) indexSizes() {
+	if len(p.Batch) == 0 {
+		return
+	}
+	lo, hi := int(p.Batch[0].ID), int(p.Batch[0].ID)
+	for _, t := range p.Batch {
+		if int(t.ID) < lo {
+			lo = int(t.ID)
+		}
+		if int(t.ID) > hi {
+			hi = int(t.ID)
+		}
+	}
+	span := hi - lo + 1
+	if span > 4*len(p.Batch)+64 {
+		return // too sparse; fall back to the map
+	}
+	p.sizes = make([]units.MFlops, span)
+	p.minID = lo
+	for _, t := range p.Batch {
+		p.sizes[int(t.ID)-lo] = t.Size
+	}
+}
+
+// sizeOf returns the size of the task with the given chromosome symbol.
+func (p *Problem) sizeOf(sym int) units.MFlops {
+	if p.sizes != nil {
+		if i := sym - p.minID; i >= 0 && i < len(p.sizes) {
+			return p.sizes[i]
+		}
+	}
+	return p.Set.MustGet(task.ID(sym)).Size
+}
+
+// NewProblem snapshots a scheduling decision from the scheduler's view.
+func NewProblem(batch []task.Task, s sched.State, includeComm bool) *Problem {
+	m := s.M()
+	p := &Problem{
+		Batch:       batch,
+		Set:         task.NewSet(batch),
+		M:           m,
+		Rates:       make([]units.Rate, m),
+		Loads:       make([]units.MFlops, m),
+		Comm:        make([]units.Seconds, m),
+		IncludeComm: includeComm,
+	}
+	for j := 0; j < m; j++ {
+		p.Rates[j] = s.Rate(j)
+		p.Loads[j] = s.PendingLoad(j)
+		if includeComm {
+			p.Comm[j] = s.CommEstimate(j)
+		}
+	}
+	p.indexSizes()
+	p.psi = p.computePsi()
+	return p
+}
+
+// delta returns δⱼ = Lⱼ/Pⱼ, the finishing time of processor j's
+// previously assigned load (§3.2).
+func (p *Problem) delta(j int) units.Seconds {
+	if p.Loads[j] == 0 {
+		return 0
+	}
+	return p.Loads[j].TimeOn(p.Rates[j])
+}
+
+// computePsi evaluates the theoretical optimal processing time ψ: the
+// earliest instant at which all processors could finish simultaneously,
+// given the batch and the previously assigned load.
+//
+// The paper writes ψ = (Σᵢ tᵢ / Σⱼ Pⱼ) + Σⱼ δⱼ. Summing every
+// processor's prior-load finish time δⱼ overstates the reachable ideal
+// M-fold as soon as prior loads exist, which flattens the fitness
+// gradient (every Cⱼ sits far below ψ, so schedules barely
+// differentiate). We read the prior-load term as the work-equivalent
+// spread over the whole cluster,
+//
+//	ψ = ( Σᵢ tᵢ + Σⱼ Lⱼ ) / Σⱼ Pⱼ,
+//
+// which coincides exactly with the paper's expression for M = 1 and is
+// the true simultaneous-finish optimum for M > 1 (see DESIGN.md §3).
+func (p *Problem) computePsi() units.Seconds {
+	var totalWork units.MFlops
+	for _, t := range p.Batch {
+		totalWork += t.Size
+	}
+	for j := 0; j < p.M; j++ {
+		if p.Rates[j] > 0 {
+			// Loads stranded on stopped processors are excluded: they
+			// cannot contribute to (or be drained by) the cluster.
+			totalWork += p.Loads[j]
+		}
+	}
+	return totalWork.TimeOn(units.SumRates(p.Rates))
+}
+
+// Psi returns the cached theoretical optimum ψ.
+func (p *Problem) Psi() units.Seconds { return p.psi }
+
+// CompletionTimes computes, for each processor j, the predicted time to
+// drain its prior load plus its queue under chromosome c:
+//
+//	Cⱼ = δⱼ + Σ_{y ∈ queue j} ( t_y / Pⱼ + Γc(y,j) )
+//
+// The result is written into out (allocated when nil) so the GA's inner
+// loop is allocation-free.
+func (p *Problem) CompletionTimes(c ga.Chromosome, out []units.Seconds) []units.Seconds {
+	if out == nil {
+		out = make([]units.Seconds, p.M)
+	}
+	var queueWork units.MFlops
+	var queueCount int
+	j := 0
+	flush := func() {
+		ct := p.delta(j)
+		if queueCount > 0 {
+			ct += queueWork.TimeOn(p.Rates[j])
+			if p.IncludeComm {
+				ct += units.Seconds(float64(queueCount) * float64(p.Comm[j]))
+			}
+		}
+		out[j] = ct
+		queueWork, queueCount = 0, 0
+	}
+	for _, sym := range c {
+		if sym < 0 {
+			flush()
+			j++
+			continue
+		}
+		queueWork += p.sizeOf(sym)
+		queueCount++
+	}
+	flush()
+	for k := j + 1; k < p.M; k++ {
+		out[k] = p.delta(k)
+	}
+	return out
+}
+
+// Makespan returns max_j Cⱼ — the predicted total execution time of the
+// schedule encoded by c.
+func (p *Problem) Makespan(c ga.Chromosome) units.Seconds {
+	times := p.CompletionTimes(c, nil)
+	best := times[0]
+	for _, t := range times[1:] {
+		if t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+// RelativeError computes the paper's §3.2 error metric for chromosome c:
+//
+//	E = sqrt( Σⱼ |ψ − Cⱼ|² )
+//
+// the RMS deviation of per-processor completion times from the ideal.
+func (p *Problem) RelativeError(c ga.Chromosome) float64 {
+	times := p.CompletionTimes(c, nil)
+	return p.relativeErrorFrom(times)
+}
+
+func (p *Problem) relativeErrorFrom(times []units.Seconds) float64 {
+	var sum float64
+	psi := float64(p.psi)
+	for _, ct := range times {
+		if ct.IsInf() {
+			return math.Inf(1)
+		}
+		d := psi - float64(ct)
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Fitness maps the relative error onto (0, 1]:
+//
+//	F = 1 / (1 + E)
+//
+// The paper states F = 1/E ∈ [0,1]; 1/E is not bounded in general, so we
+// use the monotone-equivalent 1/(1+E), which preserves roulette-wheel
+// selection order, is defined at E = 0 and decays to 0 as E → ∞ (see
+// DESIGN.md §3). Larger values indicate fitter schedules.
+func (p *Problem) Fitness(c ga.Chromosome) float64 {
+	e := p.RelativeError(c)
+	if math.IsInf(e, 1) {
+		return 0
+	}
+	return 1 / (1 + e)
+}
+
+// Evaluator returns an allocation-free ga.Evaluator bound to this
+// problem. Each evaluator owns a scratch buffer, so use one evaluator
+// per goroutine.
+func (p *Problem) Evaluator() ga.Evaluator {
+	scratch := make([]units.Seconds, p.M)
+	return ga.EvaluatorFunc(func(c ga.Chromosome) float64 {
+		times := p.CompletionTimes(c, scratch)
+		e := p.relativeErrorFrom(times)
+		if math.IsInf(e, 1) {
+			return 0
+		}
+		return 1 / (1 + e)
+	})
+}
+
+// Assignment decodes chromosome c into the sched.Assignment the
+// simulator consumes, resolving task ids back to tasks.
+func (p *Problem) Assignment(c ga.Chromosome) sched.Assignment {
+	queues := Decode(c, p.M)
+	out := sched.NewAssignment(p.M)
+	for j, q := range queues {
+		for _, id := range q {
+			out[j] = append(out[j], p.Set.MustGet(id))
+		}
+	}
+	return out
+}

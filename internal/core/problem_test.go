@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pnsched/internal/ga"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+func mkBatch(sizes ...units.MFlops) []task.Task {
+	out := make([]task.Task, len(sizes))
+	for i, s := range sizes {
+		out[i] = task.Task{ID: task.ID(i), Size: s}
+	}
+	return out
+}
+
+func TestPsiHandComputed(t *testing.T) {
+	// Two procs at 10 Mflop/s each, batch totalling 100 MFLOPs, prior
+	// loads 50 and 0: ψ = (100+50)/20 = 7.5 — the instant both
+	// processors could finish simultaneously.
+	p := BuildProblem(
+		mkBatch(60, 40),
+		[]units.Rate{10, 10},
+		[]units.MFlops{50, 0},
+		nil, false,
+	)
+	if got := p.Psi(); got != 7.5 {
+		t.Errorf("ψ = %v, want 7.5", got)
+	}
+}
+
+func TestPsiMatchesPaperFormulaForSingleProcessor(t *testing.T) {
+	// For M = 1 our ψ coincides with the paper's Σt/ΣP + Σδ:
+	// 100/10 + 50/10 = 15.
+	p := BuildProblem(
+		mkBatch(100),
+		[]units.Rate{10},
+		[]units.MFlops{50},
+		nil, false,
+	)
+	if got := p.Psi(); got != 15 {
+		t.Errorf("ψ = %v, want 15", got)
+	}
+}
+
+func TestPsiExcludesStrandedLoad(t *testing.T) {
+	// A stopped processor with stranded load must not make ψ infinite.
+	p := BuildProblem(
+		mkBatch(100),
+		[]units.Rate{10, 0},
+		[]units.MFlops{0, 500},
+		nil, false,
+	)
+	if p.Psi().IsInf() {
+		t.Error("ψ infinite due to stranded load on stopped processor")
+	}
+}
+
+func TestCompletionTimesHandComputed(t *testing.T) {
+	// Batch: task0=100, task1=200, task2=50. Rates 10 and 5.
+	// Chromosome [0 1 | 2]: C₀ = (100+200)/10 = 30; C₁ = 50/5 = 10.
+	p := BuildProblem(
+		mkBatch(100, 200, 50),
+		[]units.Rate{10, 5},
+		nil, nil, false,
+	)
+	c := Encode([][]task.ID{{0, 1}, {2}})
+	times := p.CompletionTimes(c, nil)
+	if times[0] != 30 || times[1] != 10 {
+		t.Errorf("completion times = %v, want [30 10]", times)
+	}
+	if got := p.Makespan(c); got != 30 {
+		t.Errorf("makespan = %v, want 30", got)
+	}
+}
+
+func TestCompletionTimesWithCommAndLoads(t *testing.T) {
+	// Prior load 50 on proc 0 (δ₀ = 5); comm 2s per task on proc 0,
+	// 1s on proc 1.
+	// Chromosome [0 | 1 2]: C₀ = 5 + 100/10 + 1·2 = 17;
+	// C₁ = 0 + (200+50)/5 + 2·1 = 52.
+	p := BuildProblem(
+		mkBatch(100, 200, 50),
+		[]units.Rate{10, 5},
+		[]units.MFlops{50, 0},
+		[]units.Seconds{2, 1},
+		true,
+	)
+	c := Encode([][]task.ID{{0}, {1, 2}})
+	times := p.CompletionTimes(c, nil)
+	if times[0] != 17 || times[1] != 52 {
+		t.Errorf("completion times = %v, want [17 52]", times)
+	}
+}
+
+func TestCommExcludedWhenDisabled(t *testing.T) {
+	p := BuildProblem(
+		mkBatch(100),
+		[]units.Rate{10},
+		nil,
+		[]units.Seconds{5},
+		false, // ZO mode: comm not considered
+	)
+	c := Encode([][]task.ID{{0}})
+	if got := p.CompletionTimes(c, nil)[0]; got != 10 {
+		t.Errorf("completion = %v, want 10 (comm excluded)", got)
+	}
+}
+
+func TestEmptyQueueGetsDeltaOnly(t *testing.T) {
+	p := BuildProblem(
+		mkBatch(100),
+		[]units.Rate{10, 10},
+		[]units.MFlops{0, 30},
+		nil, false,
+	)
+	c := Encode([][]task.ID{{0}, {}})
+	times := p.CompletionTimes(c, nil)
+	if times[1] != 3 {
+		t.Errorf("idle queue completion = %v, want δ = 3", times[1])
+	}
+}
+
+func TestRelativeErrorPerfectBalanceIsZero(t *testing.T) {
+	// Two equal procs, two equal tasks, no comm: assigning one each
+	// gives C₀ = C₁ = ψ → E = 0, F = 1.
+	p := BuildProblem(
+		mkBatch(100, 100),
+		[]units.Rate{10, 10},
+		nil, nil, false,
+	)
+	c := Encode([][]task.ID{{0}, {1}})
+	if e := p.RelativeError(c); e > 1e-9 {
+		t.Errorf("relative error of perfect schedule = %v, want 0", e)
+	}
+	if f := p.Fitness(c); math.Abs(f-1) > 1e-9 {
+		t.Errorf("fitness of perfect schedule = %v, want 1", f)
+	}
+}
+
+func TestFitnessOrdersSchedulesByBalance(t *testing.T) {
+	p := BuildProblem(
+		mkBatch(100, 100),
+		[]units.Rate{10, 10},
+		nil, nil, false,
+	)
+	balanced := Encode([][]task.ID{{0}, {1}})
+	lopsided := Encode([][]task.ID{{0, 1}, {}})
+	if p.Fitness(balanced) <= p.Fitness(lopsided) {
+		t.Errorf("balanced fitness %v not above lopsided %v",
+			p.Fitness(balanced), p.Fitness(lopsided))
+	}
+	if p.Makespan(balanced) >= p.Makespan(lopsided) {
+		t.Errorf("balanced makespan %v not below lopsided %v",
+			p.Makespan(balanced), p.Makespan(lopsided))
+	}
+}
+
+func TestFitnessHeterogeneousRates(t *testing.T) {
+	// Proc 0 is 9× faster; the schedule loading proc 0 harder must be
+	// fitter than the uniform split.
+	p := BuildProblem(
+		mkBatch(100, 100, 100, 100, 100, 100, 100, 100, 100, 100),
+		[]units.Rate{90, 10},
+		nil, nil, false,
+	)
+	proportional := Encode([][]task.ID{{0, 1, 2, 3, 4, 5, 6, 7, 8}, {9}})
+	uniform := Encode([][]task.ID{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}})
+	if p.Fitness(proportional) <= p.Fitness(uniform) {
+		t.Errorf("rate-proportional split %v not fitter than uniform %v",
+			p.Fitness(proportional), p.Fitness(uniform))
+	}
+}
+
+func TestFitnessZeroOnImpossibleSchedule(t *testing.T) {
+	// Tasks on a stopped processor → infinite completion → fitness 0.
+	p := BuildProblem(
+		mkBatch(100),
+		[]units.Rate{0, 10},
+		nil, nil, false,
+	)
+	impossible := Encode([][]task.ID{{0}, {}})
+	if f := p.Fitness(impossible); f != 0 {
+		t.Errorf("fitness of impossible schedule = %v, want 0", f)
+	}
+	possible := Encode([][]task.ID{{}, {0}})
+	if f := p.Fitness(possible); f <= 0 {
+		t.Errorf("fitness of feasible schedule = %v, want > 0", f)
+	}
+}
+
+func TestFitnessBounds(t *testing.T) {
+	p := BuildProblem(
+		mkBatch(100, 250, 30, 470, 88),
+		[]units.Rate{13, 97},
+		[]units.MFlops{500, 0},
+		[]units.Seconds{0.5, 2},
+		true,
+	)
+	chromos := []ga.Chromosome{
+		Encode([][]task.ID{{0, 1, 2, 3, 4}, {}}),
+		Encode([][]task.ID{{}, {0, 1, 2, 3, 4}}),
+		Encode([][]task.ID{{0, 2}, {1, 3, 4}}),
+	}
+	for _, c := range chromos {
+		f := p.Fitness(c)
+		if f <= 0 || f > 1 {
+			t.Errorf("fitness %v outside (0,1] for %v", f, c)
+		}
+	}
+}
+
+func TestEvaluatorMatchesFitness(t *testing.T) {
+	p := BuildProblem(
+		mkBatch(10, 20, 30, 40),
+		[]units.Rate{5, 15, 25},
+		[]units.MFlops{100, 0, 50},
+		[]units.Seconds{1, 2, 3},
+		true,
+	)
+	eval := p.Evaluator()
+	chromos := []ga.Chromosome{
+		Encode([][]task.ID{{0, 1}, {2}, {3}}),
+		Encode([][]task.ID{{}, {0, 1, 2, 3}, {}}),
+	}
+	for _, c := range chromos {
+		if got, want := eval.Fitness(c), p.Fitness(c); math.Abs(got-want) > 1e-15 {
+			t.Errorf("Evaluator %v != Fitness %v", got, want)
+		}
+	}
+}
+
+func TestAssignmentDecodesToTasks(t *testing.T) {
+	batch := mkBatch(10, 20, 30)
+	p := BuildProblem(batch, []units.Rate{1, 1}, nil, nil, false)
+	c := Encode([][]task.ID{{2, 0}, {1}})
+	a := p.Assignment(c)
+	if len(a[0]) != 2 || a[0][0].ID != 2 || a[0][1].ID != 0 {
+		t.Errorf("assignment proc 0 = %v", a[0])
+	}
+	if len(a[1]) != 1 || a[1][0].Size != 20 {
+		t.Errorf("assignment proc 1 = %v", a[1])
+	}
+	if a.Tasks() != 3 {
+		t.Errorf("assignment task count = %d", a.Tasks())
+	}
+}
+
+func TestSparseTaskIDsFallBackToSet(t *testing.T) {
+	// Widely spaced ids exercise the map fallback path.
+	batch := []task.Task{
+		{ID: 10, Size: 100},
+		{ID: 100000, Size: 200},
+	}
+	p := BuildProblem(batch, []units.Rate{10, 10}, nil, nil, false)
+	c := Encode([][]task.ID{{10}, {100000}})
+	times := p.CompletionTimes(c, nil)
+	if times[0] != 10 || times[1] != 20 {
+		t.Errorf("sparse-id completion times = %v", times)
+	}
+}
+
+func TestCompletionTimesScratchReuse(t *testing.T) {
+	p := BuildProblem(mkBatch(100, 200), []units.Rate{10, 10}, nil, nil, false)
+	c := Encode([][]task.ID{{0}, {1}})
+	scratch := make([]units.Seconds, 2)
+	out := p.CompletionTimes(c, scratch)
+	if &out[0] != &scratch[0] {
+		t.Error("scratch buffer not reused")
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"pnsched/internal/ga"
+	"pnsched/internal/rng"
+	"pnsched/internal/units"
+)
+
+// Rebalancer applies the paper's §3.5 rebalancing heuristic to
+// chromosomes of one Problem. It keeps scratch buffers so repeated
+// application inside the GA's generation loop is cheap; use one
+// Rebalancer per goroutine.
+type Rebalancer struct {
+	p      *Problem
+	times  []units.Seconds
+	ftimes []units.Seconds // separate scratch for fitness probes
+	segs   []int           // scratch: segment (processor) index per chromosome position
+	// Evals counts fitness evaluations performed by rebalancing, so
+	// the scheduler can charge their cost alongside the GA's own.
+	Evals int
+}
+
+// NewRebalancer returns a Rebalancer for the problem.
+func NewRebalancer(p *Problem) *Rebalancer {
+	return &Rebalancer{
+		p:      p,
+		times:  make([]units.Seconds, p.M),
+		ftimes: make([]units.Seconds, p.M),
+	}
+}
+
+// fitness evaluates c without allocating.
+func (rb *Rebalancer) fitness(c ga.Chromosome) float64 {
+	rb.Evals++
+	times := rb.p.CompletionTimes(c, rb.ftimes)
+	e := rb.p.relativeErrorFrom(times)
+	if e != e || e > 1e308 { // NaN or effectively infinite
+		return 0
+	}
+	return 1 / (1 + e)
+}
+
+// maxProbes is the paper's bound: "We only allow a maximum of 5 random
+// searches for a smaller task."
+const maxProbes = 5
+
+// Step performs one rebalancing attempt on c in place: select the most
+// heavily loaded processor (largest predicted completion time), probe up
+// to five times for a task on another processor that is smaller than a
+// task on the heavy one, swap the pair, and keep the result only if the
+// schedule's fitness improved. It reports whether a swap was kept.
+func (rb *Rebalancer) Step(c ga.Chromosome, r *rng.RNG) bool {
+	p := rb.p
+
+	// Segment every position and find the heavy processor.
+	if cap(rb.segs) < len(c) {
+		rb.segs = make([]int, len(c))
+	}
+	segs := rb.segs[:len(c)]
+	seg := 0
+	for i, sym := range c {
+		if sym < 0 {
+			seg++
+			segs[i] = -1 // delimiter positions are not swappable
+			continue
+		}
+		segs[i] = seg
+	}
+
+	times := p.CompletionTimes(c, rb.times)
+	heavy := 0
+	for j := 1; j < p.M; j++ {
+		if times[j] > times[heavy] {
+			heavy = j
+		}
+	}
+
+	// Collect task positions on the heavy processor and elsewhere.
+	var heavyPos, otherPos []int
+	for i, s := range segs {
+		switch {
+		case s == heavy:
+			heavyPos = append(heavyPos, i)
+		case s >= 0:
+			otherPos = append(otherPos, i)
+		}
+	}
+	if len(heavyPos) == 0 || len(otherPos) == 0 {
+		return false
+	}
+
+	for probe := 0; probe < maxProbes; probe++ {
+		hi := heavyPos[r.Intn(len(heavyPos))]
+		oi := otherPos[r.Intn(len(otherPos))]
+		if p.sizeOf(c[oi]) >= p.sizeOf(c[hi]) {
+			continue // the probed task is not smaller; search again
+		}
+		before := rb.fitness(c)
+		c[hi], c[oi] = c[oi], c[hi]
+		after := rb.fitness(c)
+		if after > before {
+			return true
+		}
+		c[hi], c[oi] = c[oi], c[hi] // revert: not fitter
+		return false
+	}
+	return false
+}
+
+// Apply runs Step n times on c, returning how many swaps were kept.
+func (rb *Rebalancer) Apply(c ga.Chromosome, n int, r *rng.RNG) int {
+	kept := 0
+	for i := 0; i < n; i++ {
+		if rb.Step(c, r) {
+			kept++
+		}
+	}
+	return kept
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"pnsched/internal/ga"
+	"pnsched/internal/rng"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+func TestRebalanceImprovesLopsidedSchedule(t *testing.T) {
+	// Everything dumped on proc 0; rebalancing must spread it out.
+	batch := mkBatch(100, 90, 80, 70, 60, 50, 40, 30, 20, 10)
+	p := BuildProblem(batch, []units.Rate{10, 10, 10}, nil, nil, false)
+	var ids []task.ID
+	for _, tk := range batch {
+		ids = append(ids, tk.ID)
+	}
+	// One large task on each other queue so swaps have partners.
+	c := Encode([][]task.ID{ids[:8], {ids[8]}, {ids[9]}})
+
+	rb := NewRebalancer(p)
+	r := rng.New(1)
+	before := p.Makespan(c)
+	kept := rb.Apply(c, 200, r)
+	after := p.Makespan(c)
+	if kept == 0 {
+		t.Fatal("no rebalancing swap ever kept")
+	}
+	if after >= before {
+		t.Errorf("makespan did not improve: %v → %v", before, after)
+	}
+	if err := c.ValidatePermutation(); err != nil {
+		t.Errorf("rebalancing corrupted chromosome: %v", err)
+	}
+}
+
+func TestRebalancePreservesTaskSet(t *testing.T) {
+	batch := mkBatch(55, 44, 33, 22, 11, 66, 77, 88)
+	p := BuildProblem(batch, []units.Rate{5, 15}, nil, nil, false)
+	pop := ListPopulation(p, 5, rng.New(2))
+	rb := NewRebalancer(p)
+	r := rng.New(3)
+	ref := pop[0].Clone()
+	for _, c := range pop {
+		rb.Apply(c, 50, r)
+		if !c.IsPermutationOf(ref) {
+			t.Fatalf("rebalancing changed the symbol multiset: %v", c)
+		}
+	}
+}
+
+func TestRebalanceNeverWorsensFitness(t *testing.T) {
+	// §3.5: "If the resulting schedule is fitter, it is kept." So the
+	// fitness after any number of steps must be >= before.
+	p := benchProblem(60, 6, 4)
+	pop := ListPopulation(p, 10, rng.New(5))
+	rb := NewRebalancer(p)
+	r := rng.New(6)
+	for _, c := range pop {
+		before := p.Fitness(c)
+		rb.Apply(c, 20, r)
+		after := p.Fitness(c)
+		if after < before-1e-12 {
+			t.Fatalf("rebalancing worsened fitness: %v → %v", before, after)
+		}
+	}
+}
+
+func TestRebalanceNoSwapWhenUniform(t *testing.T) {
+	// All tasks identical: no "smaller" task exists, so no swap is
+	// possible.
+	batch := mkBatch(50, 50, 50, 50)
+	p := BuildProblem(batch, []units.Rate{10, 10}, nil, nil, false)
+	c := Encode([][]task.ID{{0, 1, 2}, {3}})
+	rb := NewRebalancer(p)
+	if rb.Step(c, rng.New(7)) {
+		t.Error("swap kept despite all-equal task sizes")
+	}
+}
+
+func TestRebalanceEmptyQueues(t *testing.T) {
+	// Heavy queue holds everything, others empty: no partner to swap
+	// with (other queues have no tasks).
+	batch := mkBatch(10, 20, 30)
+	p := BuildProblem(batch, []units.Rate{10, 10}, nil, nil, false)
+	c := Encode([][]task.ID{{0, 1, 2}, {}})
+	rb := NewRebalancer(p)
+	if rb.Step(c, rng.New(8)) {
+		t.Error("swap reported with no partner tasks")
+	}
+	if err := c.ValidatePermutation(); err != nil {
+		t.Errorf("chromosome corrupted: %v", err)
+	}
+}
+
+func TestRebalanceCountsEvals(t *testing.T) {
+	p := benchProblem(40, 4, 9)
+	pop := ListPopulation(p, 5, rng.New(10))
+	rb := NewRebalancer(p)
+	r := rng.New(11)
+	for _, c := range pop {
+		rb.Apply(c, 10, r)
+	}
+	if rb.Evals == 0 {
+		t.Error("no fitness evaluations counted")
+	}
+	if rb.Evals%2 != 0 {
+		t.Errorf("evals = %d, want even (before/after pairs)", rb.Evals)
+	}
+}
+
+func TestRebalanceSingleProcessor(t *testing.T) {
+	batch := mkBatch(10, 20)
+	p := BuildProblem(batch, []units.Rate{5}, nil, nil, false)
+	c := Encode([][]task.ID{{0, 1}})
+	rb := NewRebalancer(p)
+	if rb.Step(c, rng.New(12)) {
+		t.Error("swap on single-processor schedule")
+	}
+}
+
+func TestRebalanceDeterministic(t *testing.T) {
+	run := func() ga.Chromosome {
+		p := benchProblem(50, 5, 13)
+		pop := ListPopulation(p, 1, rng.New(14))
+		c := pop[0]
+		NewRebalancer(p).Apply(c, 30, rng.New(15))
+		return c
+	}
+	if !run().Equal(run()) {
+		t.Error("rebalancing not deterministic under fixed seeds")
+	}
+}
+
+func TestRebalanceTargetsHeavyProcessor(t *testing.T) {
+	// Proc 0 is overloaded with big tasks; proc 1 has small ones. Any
+	// kept swap must reduce the completion time of the heavy queue.
+	batch := []task.Task{
+		{ID: 0, Size: 500}, {ID: 1, Size: 400}, {ID: 2, Size: 300},
+		{ID: 3, Size: 10}, {ID: 4, Size: 20},
+	}
+	p := BuildProblem(batch, []units.Rate{10, 10}, nil, nil, false)
+	c := Encode([][]task.ID{{0, 1, 2}, {3, 4}})
+	times := p.CompletionTimes(c, nil)
+	heavyBefore := units.MaxSeconds(times[0], times[1])
+	rb := NewRebalancer(p)
+	r := rng.New(16)
+	for i := 0; i < 50; i++ {
+		rb.Step(c, r)
+	}
+	times = p.CompletionTimes(c, nil)
+	heavyAfter := units.MaxSeconds(times[0], times[1])
+	if heavyAfter >= heavyBefore {
+		t.Errorf("heavy completion did not drop: %v → %v", heavyBefore, heavyAfter)
+	}
+}

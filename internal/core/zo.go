@@ -1,0 +1,65 @@
+package core
+
+import (
+	"pnsched/internal/rng"
+	"pnsched/internal/sched"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// ZO is the comparator of §4.1: "The scheduler proposed by Zomaya et
+// al. ... the current state of the art homogeneous GA scheduler and the
+// basis for our scheduler", converted — as the paper did — to
+// heterogeneous processors by expressing task sizes in MFLOPs against
+// per-processor Mflop/s ratings.
+//
+// ZO shares PN's GA machinery but differs exactly where the paper says
+// the approaches differ:
+//
+//   - no communication-cost prediction: "the effect of communication is
+//     only considered after tasks or batches of tasks have been
+//     scheduled" (fitness excludes the Γc term);
+//   - a fixed batch size instead of PN's dynamic §3.7 rule;
+//   - a uniformly random initial population instead of the
+//     list-scheduling heuristic;
+//   - no §3.5 rebalancing heuristic.
+//
+// ZO implements sched.Batch and sched.BatchSizer.
+type ZO struct {
+	cfg Config
+	r   *rng.RNG
+}
+
+// NewZO returns a ZO scheduler. The Rebalances field of cfg is ignored
+// (ZO never rebalances); InitialBatch is its fixed batch size.
+func NewZO(cfg Config, r *rng.RNG) *ZO {
+	cfg.applyDefaults()
+	cfg.Rebalances = 0
+	return &ZO{cfg: cfg, r: r}
+}
+
+// Name implements sched.Scheduler.
+func (z *ZO) Name() string { return "ZO" }
+
+// Config returns the effective configuration (defaults applied).
+func (z *ZO) Config() Config { return z.cfg }
+
+// NextBatchSize implements sched.BatchSizer with a fixed batch size.
+func (z *ZO) NextBatchSize(queued int, _ sched.State) int {
+	h := z.cfg.InitialBatch
+	if h > queued {
+		h = queued
+	}
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// ScheduleBatch implements sched.Batch.
+func (z *ZO) ScheduleBatch(batch []task.Task, s sched.State) (sched.Assignment, units.Seconds) {
+	p := NewProblem(batch, s, false)
+	initial := RandomPopulation(p, z.cfg.Population, z.r)
+	st := Evolve(p, z.cfg, initial, s.TimeUntilFirstIdle(), z.r)
+	return p.Assignment(st.Result.Best), st.ModelledCost
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pnsched/internal/metrics"
+)
+
+// Figure is the common interface of every regenerated figure result.
+type Figure interface {
+	Table() *metrics.Table
+	WritePlot(w io.Writer)
+}
+
+// Figures lists the paper figure numbers the harness can regenerate.
+var Figures = []int{3, 4, 5, 6, 7, 8, 9, 10, 11}
+
+// Supplementary lists the extra experiments beyond the paper's figures.
+var Supplementary = []string{"extended", "scalability", "dynamic"}
+
+// RunNamed regenerates a paper figure ("3".."11") or a supplementary
+// experiment by name.
+func RunNamed(name string, p Profile) (Figure, error) {
+	switch name {
+	case "extended":
+		return Extended(p), nil
+	case "scalability":
+		return Scalability(p), nil
+	case "dynamic":
+		return Dynamic(p), nil
+	}
+	var fig int
+	if _, err := fmt.Sscanf(name, "%d", &fig); err != nil {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (figures %v or %v)", name, Figures, Supplementary)
+	}
+	return Run(fig, p)
+}
+
+// Run regenerates the numbered paper figure under the profile.
+func Run(figure int, p Profile) (Figure, error) {
+	switch figure {
+	case 3:
+		return Fig3(p), nil
+	case 4:
+		return Fig4(p), nil
+	case 5:
+		return Fig5(p), nil
+	case 6:
+		return Fig6(p), nil
+	case 7:
+		return Fig7(p), nil
+	case 8:
+		return Fig8(p), nil
+	case 9:
+		return Fig9(p), nil
+	case 10:
+		return Fig10(p), nil
+	case 11:
+		return Fig11(p), nil
+	default:
+		return nil, fmt.Errorf("experiments: no figure %d in the paper (have %v)", figure, Figures)
+	}
+}
+
+// Render regenerates a figure and writes its table and plot to w, and
+// its CSV to csv when non-nil.
+func Render(figure int, p Profile, w io.Writer, csv io.Writer) error {
+	return RenderNamed(fmt.Sprint(figure), p, w, csv)
+}
+
+// RenderNamed is Render for named experiments (paper figures or
+// supplementary ones).
+func RenderNamed(name string, p Profile, w io.Writer, csv io.Writer) error {
+	fig, err := RunNamed(name, p)
+	if err != nil {
+		return err
+	}
+	tbl := fig.Table()
+	tbl.Render(w)
+	fmt.Fprintln(w)
+	fig.WritePlot(w)
+	if csv != nil {
+		tbl.CSV(csv)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Package ga implements the genetic-algorithm machinery of §2–3 of the
+// paper: permutation chromosomes, weighted roulette-wheel selection,
+// cycle crossover (Oliver, Smith & Holland), random swap mutation, and
+// the generation loop
+//
+//	initialise population
+//	do {
+//	    crossover
+//	    random mutation
+//	    selection
+//	} while (stopping conditions not met)
+//	return best individual
+//
+// The package is problem-agnostic: it operates on permutations of
+// arbitrary integer symbols and delegates fitness to an Evaluator. The
+// scheduler-specific encoding, fitness and rebalancing heuristic live in
+// internal/core.
+package ga
+
+import "fmt"
+
+// Chromosome is a permutation of distinct integer symbols. For the
+// scheduling problem the symbols are task ids plus negative queue
+// delimiters, but the GA machinery only relies on distinctness.
+type Chromosome []int
+
+// Clone returns an independent copy.
+func (c Chromosome) Clone() Chromosome {
+	out := make(Chromosome, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether two chromosomes are identical.
+func (c Chromosome) Equal(o Chromosome) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPermutationOf reports whether c and o contain exactly the same
+// multiset of symbols.
+func (c Chromosome) IsPermutationOf(o Chromosome) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	counts := make(map[int]int, len(c))
+	for _, v := range c {
+		counts[v]++
+	}
+	for _, v := range o {
+		counts[v]--
+		if counts[v] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidatePermutation returns an error if the chromosome contains
+// duplicate symbols. Crossover correctness depends on distinctness.
+func (c Chromosome) ValidatePermutation() error {
+	seen := make(map[int]struct{}, len(c))
+	for i, v := range c {
+		if _, dup := seen[v]; dup {
+			return fmt.Errorf("ga: duplicate symbol %d at position %d", v, i)
+		}
+		seen[v] = struct{}{}
+	}
+	return nil
+}
+
+// Evaluator scores chromosomes. Fitness must be positive and finite,
+// with larger values indicating better individuals; the roulette wheel
+// normalises internally, so any positive monotone scale works.
+type Evaluator interface {
+	Fitness(c Chromosome) float64
+}
+
+// EvaluatorFunc adapts a plain function to the Evaluator interface.
+type EvaluatorFunc func(c Chromosome) float64
+
+// Fitness implements Evaluator.
+func (f EvaluatorFunc) Fitness(c Chromosome) float64 { return f(c) }

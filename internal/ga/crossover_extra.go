@@ -1,0 +1,126 @@
+package ga
+
+import (
+	"fmt"
+
+	"pnsched/internal/rng"
+)
+
+// This file implements two further permutation crossovers — PMX and
+// OX — as ablation alternatives to the paper's cycle crossover. GA
+// scheduling papers in the lineage the paper cites (Hou, Ansari & Ren;
+// Zomaya et al.) differ in operator choice; these let the bench
+// harness quantify what CX buys.
+
+// Crossover is a permutation crossover operator: it takes two parents
+// that are permutations of the same symbols and produces two children
+// with the same property.
+type Crossover func(p1, p2 Chromosome, r *rng.RNG) (Chromosome, Chromosome)
+
+// CX adapts CycleCrossover to the Crossover signature (cycle crossover
+// itself is deterministic; the RNG is unused).
+func CX(p1, p2 Chromosome, _ *rng.RNG) (Chromosome, Chromosome) {
+	return CycleCrossover(p1, p2)
+}
+
+// PMX is partially mapped crossover (Goldberg & Lingle): a random
+// segment is exchanged between the parents and the displaced symbols
+// are repaired through the segment's bidirectional mapping. Children
+// inherit the segment's absolute positions from the opposite parent
+// and most other positions from their own.
+func PMX(p1, p2 Chromosome, r *rng.RNG) (Chromosome, Chromosome) {
+	n := len(p1)
+	if n != len(p2) {
+		panic(fmt.Sprintf("ga: PMX length mismatch %d vs %d", n, len(p2)))
+	}
+	if n < 2 {
+		return p1.Clone(), p2.Clone()
+	}
+	lo := r.Intn(n)
+	hi := r.Intn(n)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return pmxChild(p1, p2, lo, hi), pmxChild(p2, p1, lo, hi)
+}
+
+// pmxChild builds one PMX child: base parent `a` with segment [lo,hi]
+// replaced by b's, repairing duplicates via the mapping b[i] → a[i].
+func pmxChild(a, b Chromosome, lo, hi int) Chromosome {
+	n := len(a)
+	child := a.Clone()
+	// Mapping from the symbol placed into the child (from b) back to
+	// the symbol it displaced (from a).
+	mapping := make(map[int]int, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		child[i] = b[i]
+		mapping[b[i]] = a[i]
+	}
+	for i := 0; i < n; i++ {
+		if i >= lo && i <= hi {
+			continue
+		}
+		v := child[i]
+		// Chase the mapping until the symbol is not present in the
+		// copied segment; the chain terminates because each step maps
+		// to a symbol displaced out of the segment.
+		for {
+			next, dup := mapping[v]
+			if !dup {
+				break
+			}
+			v = next
+		}
+		child[i] = v
+	}
+	return child
+}
+
+// OX is order crossover (Davis): a random segment is copied verbatim
+// from each parent, and the remaining positions are filled with the
+// other parent's symbols in their relative order, starting after the
+// segment. It preserves relative order rather than absolute position.
+func OX(p1, p2 Chromosome, r *rng.RNG) (Chromosome, Chromosome) {
+	n := len(p1)
+	if n != len(p2) {
+		panic(fmt.Sprintf("ga: OX length mismatch %d vs %d", n, len(p2)))
+	}
+	if n < 2 {
+		return p1.Clone(), p2.Clone()
+	}
+	lo := r.Intn(n)
+	hi := r.Intn(n)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return oxChild(p1, p2, lo, hi), oxChild(p2, p1, lo, hi)
+}
+
+// oxChild keeps a's segment [lo,hi] and fills the remaining positions
+// (taken in cyclic order starting just past the segment) with b's
+// symbols in the cyclic order they appear in b from the same point.
+func oxChild(a, b Chromosome, lo, hi int) Chromosome {
+	n := len(a)
+	child := make(Chromosome, n)
+	inSeg := make(map[int]struct{}, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		child[i] = a[i]
+		inSeg[a[i]] = struct{}{}
+	}
+	fill := make([]int, 0, n-(hi-lo+1))
+	for k := 1; k <= n; k++ {
+		if p := (hi + k) % n; p < lo || p > hi {
+			fill = append(fill, p)
+		}
+	}
+	fi := 0
+	for k := 1; k <= n && fi < len(fill); k++ {
+		v := b[(hi+k)%n]
+		if _, used := inSeg[v]; used {
+			continue
+		}
+		child[fill[fi]] = v
+		fi++
+	}
+	return child
+}

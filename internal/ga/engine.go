@@ -1,0 +1,237 @@
+package ga
+
+import (
+	"fmt"
+
+	"pnsched/internal/rng"
+)
+
+// StopReason reports why a GA run terminated.
+type StopReason int
+
+// Stop reasons, in the order the engine checks them.
+const (
+	// StopMaxGenerations: the generation cap (1000 in the paper) was hit.
+	StopMaxGenerations StopReason = iota
+	// StopTarget: the best fitness reached Config.TargetFitness — the
+	// paper's "if [the best makespan] is less than a specified minimum,
+	// the GA stops evolving", expressed on the fitness scale.
+	StopTarget
+	// StopCallback: Config.Stop returned true — used by the scheduler to
+	// abort evolution "if one of the processors becomes idle".
+	StopCallback
+)
+
+// String implements fmt.Stringer.
+func (s StopReason) String() string {
+	switch s {
+	case StopMaxGenerations:
+		return "max-generations"
+	case StopTarget:
+		return "target-fitness"
+	case StopCallback:
+		return "callback"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(s))
+	}
+}
+
+// Config parametrises the engine. The defaults (applied by Run for zero
+// fields) follow the paper: a micro-GA population of 20 and a cap of
+// 1000 generations.
+type Config struct {
+	// PopulationSize is the number of individuals (default 20 — "a
+	// micro GA ... which speeds up computation time without impacting
+	// greatly on the final result").
+	PopulationSize int
+	// MaxGenerations caps evolution (default 1000 — "the quality of the
+	// schedules returned with more than that number does not justify
+	// the increased computation cost").
+	MaxGenerations int
+	// CrossoverFraction is the fraction of the next population created
+	// by crossover of selected pairs (default 0.8).
+	CrossoverFraction float64
+	// Crossover selects the permutation crossover operator; nil uses
+	// the paper's cycle crossover (CX). PMX and OX are provided for
+	// operator ablations.
+	Crossover Crossover
+	// MutationsPerGeneration is how many random swap mutations are
+	// applied to randomly chosen individuals each generation
+	// (default 1, per the paper's singular "a randomly chosen
+	// individual").
+	MutationsPerGeneration int
+	// Elitism preserves the best individual across generations
+	// (default true). The paper tracks "the individual with the lowest
+	// makespan ... after each generation" and Fig. 3's monotone
+	// improvement implies the best is never lost.
+	Elitism bool
+	// TargetFitness stops evolution once the best fitness reaches this
+	// value; zero disables the check.
+	TargetFitness float64
+	// Mutate, when non-nil, replaces the default SwapMutation — it is
+	// applied to each randomly chosen individual.
+	Mutate func(c Chromosome, r *rng.RNG)
+	// PostGeneration, when non-nil, runs after selection each
+	// generation with the whole population; the scheduler uses it for
+	// the §3.5 rebalancing heuristic. Implementations may modify
+	// individuals in place but must preserve the permutation property.
+	PostGeneration func(pop []Chromosome, r *rng.RNG)
+	// Stop, when non-nil, is polled once per generation with the
+	// generation number and current best fitness; returning true aborts
+	// evolution (the processor-went-idle condition).
+	Stop func(gen int, bestFitness float64) bool
+	// OnGeneration, when non-nil, observes each generation's best
+	// individual — used to record Fig. 3's per-generation makespan
+	// trajectories.
+	OnGeneration func(gen int, best Chromosome, bestFitness float64)
+}
+
+func (c *Config) applyDefaults() {
+	if c.PopulationSize == 0 {
+		c.PopulationSize = 20
+	}
+	if c.MaxGenerations == 0 {
+		c.MaxGenerations = 1000
+	}
+	if c.CrossoverFraction == 0 {
+		c.CrossoverFraction = 0.8
+	}
+	if c.MutationsPerGeneration == 0 {
+		c.MutationsPerGeneration = 1
+	}
+}
+
+// Result reports a finished run.
+type Result struct {
+	Best        Chromosome
+	BestFitness float64
+	Generations int
+	Reason      StopReason
+	Evaluations int // total fitness evaluations performed
+}
+
+// Run evolves the initial population against the evaluator and returns
+// the best individual found. The initial population is not modified.
+// Run panics if the initial population is empty — the caller owns
+// population construction (the paper seeds it with a list-scheduling
+// heuristic), so an empty one is a programming error.
+//
+// Elitism note: defaults preserve the best individual, so best fitness
+// is non-decreasing across generations.
+func Run(cfg Config, eval Evaluator, initial []Chromosome, r *rng.RNG) Result {
+	cfg.applyDefaults()
+	if len(initial) == 0 {
+		panic("ga: empty initial population")
+	}
+
+	// Working population: clone so callers keep their seeds.
+	pop := make([]Chromosome, len(initial))
+	for i, c := range initial {
+		pop[i] = c.Clone()
+	}
+	// Pad or trim to the configured size by roulette-cloning.
+	for len(pop) < cfg.PopulationSize {
+		pop = append(pop, pop[len(pop)%len(initial)].Clone())
+	}
+	if len(pop) > cfg.PopulationSize {
+		pop = pop[:cfg.PopulationSize]
+	}
+	n := len(pop)
+
+	fitness := make([]float64, n)
+	evals := 0
+	evaluate := func() (bestIdx int) {
+		for i, c := range pop {
+			fitness[i] = eval.Fitness(c)
+			evals++
+			if fitness[i] > fitness[bestIdx] {
+				bestIdx = i
+			}
+		}
+		return bestIdx
+	}
+
+	bestIdx := evaluate()
+	best := pop[bestIdx].Clone()
+	bestFitness := fitness[bestIdx]
+	if cfg.OnGeneration != nil {
+		cfg.OnGeneration(0, best, bestFitness)
+	}
+
+	result := func(gen int, reason StopReason) Result {
+		return Result{
+			Best:        best,
+			BestFitness: bestFitness,
+			Generations: gen,
+			Reason:      reason,
+			Evaluations: evals,
+		}
+	}
+
+	if cfg.TargetFitness > 0 && bestFitness >= cfg.TargetFitness {
+		return result(0, StopTarget)
+	}
+
+	next := make([]Chromosome, 0, n)
+	for gen := 1; gen <= cfg.MaxGenerations; gen++ {
+		if cfg.Stop != nil && cfg.Stop(gen, bestFitness) {
+			return result(gen-1, StopCallback)
+		}
+
+		// Crossover: pair roulette-selected parents.
+		next = next[:0]
+		pairs := int(float64(n) * cfg.CrossoverFraction / 2)
+		if pairs > 0 {
+			cross := cfg.Crossover
+			if cross == nil {
+				cross = CX
+			}
+			parents := RouletteWheel(fitness, 2*pairs, r)
+			for k := 0; k < pairs; k++ {
+				a, b := pop[parents[2*k]], pop[parents[2*k+1]]
+				c1, c2 := cross(a, b, r)
+				next = append(next, c1, c2)
+			}
+		}
+		// Fill the remainder by roulette-cloning survivors (selection).
+		if missing := n - len(next); missing > 0 {
+			for _, idx := range RouletteWheel(fitness, missing, r) {
+				next = append(next, pop[idx].Clone())
+			}
+		}
+		next = next[:n]
+
+		// Random mutation on randomly chosen individuals.
+		mutate := cfg.Mutate
+		if mutate == nil {
+			mutate = SwapMutation
+		}
+		for k := 0; k < cfg.MutationsPerGeneration; k++ {
+			mutate(next[r.Intn(n)], r)
+		}
+
+		pop, next = next, pop
+
+		if cfg.PostGeneration != nil {
+			cfg.PostGeneration(pop, r)
+		}
+
+		// Elitism: reinsert the best-so-far over a random slot.
+		if cfg.Elitism {
+			pop[r.Intn(n)] = best.Clone()
+		}
+
+		genBest := evaluate()
+		if fitness[genBest] > bestFitness {
+			bestFitness = fitness[genBest]
+			best = pop[genBest].Clone()
+		}
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(gen, best, bestFitness)
+		}
+		if cfg.TargetFitness > 0 && bestFitness >= cfg.TargetFitness {
+			return result(gen, StopTarget)
+		}
+	}
+	return result(cfg.MaxGenerations, StopMaxGenerations)
+}

@@ -1,0 +1,165 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pnsched/internal/rng"
+)
+
+// RouletteWheel implements the paper's §3.3 selection: each individual i
+// receives a slot of size ςᵢ = Fᵢ / ΣFⱼ on the unit interval, and
+// individuals are drawn (with replacement) by spinning the wheel count
+// times. The returned slice holds indices into the fitness slice.
+//
+// Non-finite or non-positive fitness values are treated as zero weight.
+// If every weight is zero the selection degenerates to uniform — the
+// correct limit for an indifferent wheel, and it keeps the GA alive when
+// the population is uniformly terrible.
+func RouletteWheel(fitness []float64, count int, r *rng.RNG) []int {
+	n := len(fitness)
+	if n == 0 || count <= 0 {
+		return nil
+	}
+	cum := make([]float64, n)
+	var total float64
+	for i, f := range fitness {
+		if f > 0 && !math.IsInf(f, 0) && !math.IsNaN(f) {
+			total += f
+		}
+		cum[i] = total
+	}
+	out := make([]int, count)
+	if total <= 0 {
+		for i := range out {
+			out[i] = r.Intn(n)
+		}
+		return out
+	}
+	for i := range out {
+		x := r.Float64() * total
+		// Smallest index whose cumulative weight reaches x; duplicate
+		// cumulative values (zero-weight individuals) resolve to the
+		// first of the run, i.e. the individual owning the mass.
+		idx := sort.SearchFloat64s(cum, x)
+		if idx >= n { // x == total edge case
+			idx = n - 1
+		}
+		// x == 0 with leading zero-weight individuals: advance to the
+		// first individual with positive cumulative mass.
+		for idx < n-1 && cum[idx] == 0 {
+			idx++
+		}
+		out[i] = idx
+	}
+	return out
+}
+
+// CycleCrossover implements the permutation crossover of Oliver, Smith
+// and Holland used by the paper (§3.3) "to promote exploration". Both
+// children preserve the absolute position of every symbol: positions are
+// partitioned into cycles, and alternate cycles are copied from each
+// parent. The operator is deterministic given its parents.
+//
+// It panics if the parents are not permutations of the same symbol set —
+// the GA must never reach that state, so it is asserted.
+func CycleCrossover(p1, p2 Chromosome) (Chromosome, Chromosome) {
+	n := len(p1)
+	if n != len(p2) {
+		panic(fmt.Sprintf("ga: cycle crossover length mismatch %d vs %d", n, len(p2)))
+	}
+	lookup := newPosIndex(p1)
+	c1 := make(Chromosome, n)
+	c2 := make(Chromosome, n)
+	visited := make([]bool, n)
+	cycle := 0
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		// Copy the cycle through position start, alternating source
+		// parent per cycle.
+		fromP1 := cycle%2 == 0
+		i := start
+		for {
+			visited[i] = true
+			if fromP1 {
+				c1[i], c2[i] = p1[i], p2[i]
+			} else {
+				c1[i], c2[i] = p2[i], p1[i]
+			}
+			next, ok := lookup(p2[i])
+			if !ok {
+				panic(fmt.Sprintf("ga: cycle crossover: symbol %d of p2 absent from p1", p2[i]))
+			}
+			i = next
+			if i == start {
+				break
+			}
+		}
+		cycle++
+	}
+	return c1, c2
+}
+
+// newPosIndex builds a symbol→position lookup for a chromosome. For the
+// common case of a compact symbol range (task ids plus small negative
+// delimiters) it uses a dense slice, avoiding per-crossover map
+// allocations in the GA's hot loop; sparse symbol sets fall back to a
+// map.
+func newPosIndex(p Chromosome) func(sym int) (int, bool) {
+	n := len(p)
+	if n == 0 {
+		return func(int) (int, bool) { return 0, false }
+	}
+	lo, hi := p[0], p[0]
+	for _, v := range p {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if span := hi - lo + 1; span <= 16*n+64 {
+		dense := make([]int, span)
+		for i := range dense {
+			dense[i] = -1
+		}
+		for i, v := range p {
+			dense[v-lo] = i
+		}
+		return func(sym int) (int, bool) {
+			i := sym - lo
+			if i < 0 || i >= len(dense) || dense[i] < 0 {
+				return 0, false
+			}
+			return dense[i], true
+		}
+	}
+	pos := make(map[int]int, n)
+	for i, v := range p {
+		pos[v] = i
+	}
+	return func(sym int) (int, bool) {
+		i, ok := pos[sym]
+		return i, ok
+	}
+}
+
+// SwapMutation exchanges two distinct random positions of c in place —
+// the paper's first mutation ("we randomly swap elements of a randomly
+// chosen individual"). Chromosomes shorter than 2 are left unchanged.
+func SwapMutation(c Chromosome, r *rng.RNG) {
+	n := len(c)
+	if n < 2 {
+		return
+	}
+	i := r.Intn(n)
+	j := r.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	c[i], c[j] = c[j], c[i]
+}

@@ -1,0 +1,156 @@
+package linpack
+
+import (
+	"math"
+	"testing"
+
+	"pnsched/internal/rng"
+)
+
+func TestFactorSolveKnownSystem(t *testing.T) {
+	// A = [[2,1],[1,3]], b = [3,4] → x = [1,1]
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	b := []float64{3, 4}
+	piv, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Solve(a, piv, b)
+	for i, x := range b {
+		if math.Abs(x-1) > 1e-12 {
+			t.Errorf("x[%d] = %v, want 1", i, x)
+		}
+	}
+}
+
+func TestFactorRequiresPivoting(t *testing.T) {
+	// Zero in the (0,0) position: fails without partial pivoting.
+	a := NewMatrix(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	b := []float64{1, 1} // x = [1,1]
+	piv, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Solve(a, piv, b)
+	for i, x := range b {
+		if math.Abs(x-1) > 1e-12 {
+			t.Errorf("x[%d] = %v, want 1", i, x)
+		}
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := NewMatrix(2) // all zeros
+	if _, err := Factor(a); err != ErrSingular {
+		t.Errorf("Factor(zero matrix) err = %v, want ErrSingular", err)
+	}
+	// Rank-1 matrix.
+	a = NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Factor(a); err != ErrSingular {
+		t.Errorf("Factor(rank-1) err = %v, want ErrSingular", err)
+	}
+}
+
+func TestRandomSystemSolvesToOnes(t *testing.T) {
+	for _, n := range []int{3, 10, 50, 100} {
+		a, b := RandomSystem(n, rng.New(uint64(n)))
+		piv, err := Factor(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		Solve(a, piv, b)
+		for i, x := range b {
+			if math.Abs(x-1) > 1e-8 {
+				t.Errorf("n=%d: x[%d] = %v, want 1", n, i, x)
+			}
+		}
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	// n=3: 2*27/3 + 2*9 = 18 + 18 = 36
+	if got := FlopCount(3); got != 36 {
+		t.Errorf("FlopCount(3) = %v, want 36", got)
+	}
+	// Must grow cubically.
+	if FlopCount(200) < 8*FlopCount(100)*0.9 {
+		t.Error("FlopCount not cubic")
+	}
+}
+
+func TestRunProducesPositiveRate(t *testing.T) {
+	res, err := Run(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate <= 0 {
+		t.Errorf("rate = %v, want > 0", res.Rate)
+	}
+	if res.Residual > 1e-8 {
+		t.Errorf("residual = %v, too large", res.Residual)
+	}
+	if res.N != 100 {
+		t.Errorf("N = %d", res.N)
+	}
+	if res.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRunRejectsTinyN(t *testing.T) {
+	if _, err := Run(1, 1); err == nil {
+		t.Error("Run(1) must error")
+	}
+}
+
+func TestRateBestOfThree(t *testing.T) {
+	rate, err := Rate(80, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Errorf("Rate = %v", rate)
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Error("Set/At mismatch")
+	}
+	if m.At(2, 1) != 0 {
+		t.Error("transpose aliasing")
+	}
+}
+
+func BenchmarkFactor100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a, _ := RandomSystem(100, rng.New(1))
+		b.StartTimer()
+		if _, err := Factor(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinpackRating(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(200, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"pnsched/internal/rng"
+	"pnsched/internal/sim"
+	"pnsched/internal/workload"
+)
+
+const validScenario = `{
+  "seed": 7,
+  "cluster": {"count": 4, "rate_lo": 20, "rate_hi": 200},
+  "network": {"mean_cost_s": 1, "link_spread": 0.3, "jitter": 0.2},
+  "workload": {"n": 100, "dist": "uniform", "lo": 10, "hi": 1000},
+  "scheduler": {"name": "PN", "generations": 50}
+}`
+
+func TestLoadAndRun(t *testing.T) {
+	spec, err := Load(strings.NewReader(validScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run(cfg)
+	if res.Completed != 100 {
+		t.Errorf("completed = %d", res.Completed)
+	}
+	if res.Efficiency <= 0 || res.Efficiency > 1 {
+		t.Errorf("efficiency = %v", res.Efficiency)
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	run := func() sim.Result {
+		spec, err := Load(strings.NewReader(validScenario))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := spec.Build(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run(cfg)
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan {
+		t.Errorf("scenario runs diverged: %v vs %v", a.Makespan, b.Makespan)
+	}
+}
+
+func TestExplicitProcsWithAvailability(t *testing.T) {
+	in := `{
+	  "seed": 1,
+	  "cluster": {"procs": [
+	    {"rate": 100},
+	    {"rate": 50, "avail": {"model": "off-after", "cutoff_s": 30}},
+	    {"rate": 80, "avail": {"model": "sinusoidal", "mean": 0.7, "amplitude": 0.2, "period_s": 60}},
+	    {"rate": 60, "avail": {"model": "random-walk", "interval_s": 10, "step": 0.2, "floor": 0.3, "start": 0.9}},
+	    {"rate": 40, "avail": {"model": "markov", "mean_on_s": 30, "mean_off_s": 10, "on_level": 1, "off_level": 0.2}}
+	  ]},
+	  "network": {"mean_cost_s": 0.5},
+	  "workload": {"n": 60, "dist": "poisson", "mean": 100},
+	  "scheduler": {"name": "EF"},
+	  "reissue_timeout_s": 20
+	}`
+	spec, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cluster.M() != 5 {
+		t.Fatalf("M = %d", cfg.Cluster.M())
+	}
+	if cfg.Cluster.Procs[1].Avail.Name() != "off-after(30.000s)" {
+		t.Errorf("proc 1 avail = %s", cfg.Cluster.Procs[1].Avail.Name())
+	}
+	res := sim.Run(cfg)
+	if res.Completed != 60 {
+		t.Errorf("completed = %d with failure recovery enabled", res.Completed)
+	}
+}
+
+func TestAllSchedulersBuildable(t *testing.T) {
+	for _, name := range []string{"EF", "LL", "RR", "MM", "MX", "MET", "OLB", "KPB", "SUF", "PN", "ZO"} {
+		in := strings.Replace(validScenario, `"name": "PN", "generations": 50`, `"name": "`+name+`", "generations": 30`, 1)
+		spec, err := Load(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cfg, err := spec.Build(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := sim.Run(cfg)
+		if res.Completed != 100 {
+			t.Errorf("%s completed %d of 100", name, res.Completed)
+		}
+	}
+}
+
+func TestWorkloadFileReference(t *testing.T) {
+	tasks := workload.Generate(workload.Spec{
+		N:     25,
+		Sizes: workload.Constant{Size: 100},
+	}, rng.New(1))
+	var buf bytes.Buffer
+	if err := workload.WriteJSON(&buf, tasks, "test"); err != nil {
+		t.Fatal(err)
+	}
+	in := `{
+	  "seed": 1,
+	  "cluster": {"count": 2, "rate_lo": 50, "rate_hi": 100},
+	  "network": {"mean_cost_s": 0},
+	  "workload": {"n": 0, "dist": "", "file": "tasks.json"},
+	  "scheduler": {"name": "EF"}
+	}`
+	spec, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Build(func(name string) (io.ReadCloser, error) {
+		if name != "tasks.json" {
+			t.Fatalf("unexpected file %q", name)
+		}
+		return io.NopCloser(bytes.NewReader(buf.Bytes())), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Tasks) != 25 {
+		t.Errorf("loaded %d tasks", len(cfg.Tasks))
+	}
+	// File references must be refused without an opener.
+	if _, err := spec.Build(nil); err == nil {
+		t.Error("file reference accepted without opener")
+	}
+}
+
+func TestLoadRejectsBadSpecs(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{`,
+		"unknown field":  `{"seed": 1, "bogus": true}`,
+		"no cluster":     `{"seed":1,"cluster":{},"network":{"mean_cost_s":0},"workload":{"n":1,"dist":"constant"},"scheduler":{"name":"EF"}}`,
+		"bad rates":      `{"seed":1,"cluster":{"count":3,"rate_lo":0,"rate_hi":5},"network":{"mean_cost_s":0},"workload":{"n":1,"dist":"constant"},"scheduler":{"name":"EF"}}`,
+		"zero-rate proc": `{"seed":1,"cluster":{"procs":[{"rate":0}]},"network":{"mean_cost_s":0},"workload":{"n":1,"dist":"constant"},"scheduler":{"name":"EF"}}`,
+		"no workload":    `{"seed":1,"cluster":{"count":1,"rate_lo":1,"rate_hi":2},"network":{"mean_cost_s":0},"workload":{"dist":"constant"},"scheduler":{"name":"EF"}}`,
+		"neg comm":       `{"seed":1,"cluster":{"count":1,"rate_lo":1,"rate_hi":2},"network":{"mean_cost_s":-1},"workload":{"n":1,"dist":"constant"},"scheduler":{"name":"EF"}}`,
+		"no scheduler":   `{"seed":1,"cluster":{"count":1,"rate_lo":1,"rate_hi":2},"network":{"mean_cost_s":0},"workload":{"n":1,"dist":"constant"},"scheduler":{}}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestBuildRejectsUnknowns(t *testing.T) {
+	spec, err := Load(strings.NewReader(validScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scheduler.Name = "WAT"
+	if _, err := spec.Build(nil); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	spec, _ = Load(strings.NewReader(validScenario))
+	spec.Workload.Dist = "cauchy"
+	if _, err := spec.Build(nil); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	spec, _ = Load(strings.NewReader(validScenario))
+	spec.Cluster.Procs = []ProcSpec{{Rate: 10, Avail: &AvailSpec{Model: "quantum"}}}
+	spec.Cluster.Count = 0
+	if _, err := spec.Build(nil); err == nil {
+		t.Error("unknown availability model accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// fileFormat is the on-disk JSON schema for generated workloads: a
+// small header for provenance plus the task list.
+type fileFormat struct {
+	Version int        `json:"version"`
+	Dist    string     `json:"dist,omitempty"`
+	Tasks   []taskJSON `json:"tasks"`
+}
+
+type taskJSON struct {
+	ID      int32   `json:"id"`
+	Size    float64 `json:"size_mflops"`
+	Arrival float64 `json:"arrival_s"`
+}
+
+const codecVersion = 1
+
+// WriteJSON serialises tasks (with an optional distribution label for
+// provenance) to w.
+func WriteJSON(w io.Writer, tasks []task.Task, dist string) error {
+	f := fileFormat{Version: codecVersion, Dist: dist, Tasks: make([]taskJSON, len(tasks))}
+	for i, t := range tasks {
+		f.Tasks[i] = taskJSON{ID: int32(t.ID), Size: float64(t.Size), Arrival: float64(t.Arrival)}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadJSON parses a workload file written by WriteJSON, validating ids
+// and sizes.
+func ReadJSON(r io.Reader) ([]task.Task, error) {
+	var f fileFormat
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("workload: parse: %w", err)
+	}
+	if f.Version != codecVersion {
+		return nil, fmt.Errorf("workload: unsupported version %d", f.Version)
+	}
+	out := make([]task.Task, len(f.Tasks))
+	seen := make(map[int32]bool, len(f.Tasks))
+	for i, t := range f.Tasks {
+		if t.ID < 0 {
+			return nil, fmt.Errorf("workload: task %d has negative id %d", i, t.ID)
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("workload: duplicate task id %d", t.ID)
+		}
+		seen[t.ID] = true
+		if t.Size <= 0 {
+			return nil, fmt.Errorf("workload: task %d has non-positive size %v", t.ID, t.Size)
+		}
+		if t.Arrival < 0 {
+			return nil, fmt.Errorf("workload: task %d has negative arrival %v", t.ID, t.Arrival)
+		}
+		out[i] = task.Task{
+			ID:      task.ID(t.ID),
+			Size:    units.MFlops(t.Size),
+			Arrival: units.Seconds(t.Arrival),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pnsched/internal/rng"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tasks := Generate(Spec{
+		N:       50,
+		Sizes:   Uniform{Lo: 10, Hi: 1000},
+		Arrival: PoissonArrivals{MeanGap: 2},
+	}, rng.New(1))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tasks, "uniform[10,1000]"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tasks) {
+		t.Fatalf("round trip lost tasks: %d vs %d", len(back), len(tasks))
+	}
+	for i := range tasks {
+		if back[i] != tasks[i] {
+			t.Errorf("task %d: %v vs %v", i, back[i], tasks[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":    "{",
+		"bad version": `{"version": 99, "tasks": []}`,
+		"negative id": `{"version": 1, "tasks": [{"id": -1, "size_mflops": 10}]}`,
+		"dup id":      `{"version": 1, "tasks": [{"id": 1, "size_mflops": 10}, {"id": 1, "size_mflops": 5}]}`,
+		"zero size":   `{"version": 1, "tasks": [{"id": 1, "size_mflops": 0}]}`,
+		"neg arrival": `{"version": 1, "tasks": [{"id": 1, "size_mflops": 5, "arrival_s": -2}]}`,
+		"neg size":    `{"version": 1, "tasks": [{"id": 1, "size_mflops": -5}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadJSONEmptyTaskList(t *testing.T) {
+	tasks, err := ReadJSON(strings.NewReader(`{"version": 1, "tasks": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 0 {
+		t.Errorf("tasks = %v", tasks)
+	}
+}
