@@ -1,0 +1,23 @@
+# Targets mirror .github/workflows/ci.yml exactly, so `make ci` locally
+# reproduces what the workflow checks.
+
+GO ?= go
+
+.PHONY: build test lint bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+ci: build lint test bench

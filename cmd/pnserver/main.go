@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"time"
 
@@ -55,6 +56,9 @@ func main() {
 			Sizes: workload.Uniform{Lo: 10, Hi: 1000},
 		}, rng.New(*seed))
 	}
+	if len(tasks) == 0 {
+		fatal(fmt.Errorf("empty workload: nothing to schedule"))
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Generations = *gens
@@ -74,16 +78,16 @@ func main() {
 	}
 	defer srv.Close()
 
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
 	go func() {
-		if err := srv.ListenAndServe(*listen); err != nil {
+		if err := srv.Serve(ln); err != nil {
 			fatal(err)
 		}
 	}()
-	// Give the listener a moment, then report where we are.
-	time.Sleep(100 * time.Millisecond)
-	if a := srv.Addr(); a != nil {
-		log.Printf("pnserver: listening on %v with %d tasks", a, len(tasks))
-	}
+	log.Printf("pnserver: listening on %v with %d tasks", ln.Addr(), len(tasks))
 
 	srv.Submit(tasks)
 
@@ -104,8 +108,8 @@ func main() {
 				comp, sub, reissued, workers, time.Since(start).Round(time.Millisecond))
 			return
 		case <-tick.C:
-			sub, comp, reissued, workers := srv.Stats()
 			if !*quiet {
+				sub, comp, reissued, workers := srv.Stats()
 				log.Printf("pnserver: progress %d/%d (reissued %d, workers %d)", comp, sub, reissued, workers)
 			}
 		}

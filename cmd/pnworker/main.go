@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,8 +34,7 @@ func main() {
 	flag.Parse()
 
 	if *name == "" {
-		host, _ := os.Hostname()
-		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+		*name = dist.Name()
 	}
 
 	r := units.Rate(*rate)
@@ -56,7 +56,7 @@ func main() {
 		Rate:      r,
 		TimeScale: *timescale,
 	})
-	if err != nil && err != context.Canceled {
+	if err != nil && !errors.Is(err, context.Canceled) {
 		fatal(err)
 	}
 	log.Printf("pnworker %s: done", *name)

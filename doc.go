@@ -6,14 +6,20 @@
 // paper evaluates on, a live TCP scheduler/worker runtime, and a
 // benchmark harness that regenerates every figure of the evaluation.
 //
-// Start with README.md for the layout, DESIGN.md for the system
-// inventory and substitutions, and EXPERIMENTS.md for paper-vs-measured
-// results. The runnable entry points are:
+// Start with README.md for the layout, the pnserver/pnworker deployment
+// topology, and the wire protocol (specified in full in
+// internal/dist/doc.go). The runnable entry points are:
 //
 //	cmd/pnbench    — regenerate paper figures 3–11
 //	cmd/pnsim      — run a single scheduling simulation
 //	cmd/pnworkload — generate task-set files
-//	cmd/pnserver   — live TCP scheduling server (PN)
+//	cmd/pnserver   — live TCP scheduling server (PN, internal/dist)
 //	cmd/pnworker   — live worker client (Linpack-rated)
-//	examples/*     — four annotated programs against the library API
+//	examples/*     — five annotated programs against the library API;
+//	                 examples/distributed runs the full server/worker
+//	                 topology over loopback with compressed time
+//
+// Build and test with the Makefile (make ci mirrors the GitHub Actions
+// workflow): go build ./..., go vet, gofmt, go test -race ./..., and a
+// benchmark smoke pass.
 package pnsched

@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -55,15 +56,16 @@ func main() {
 		go func(i int, rate units.Rate) {
 			defer wg.Done()
 			err := dist.RunWorker(ctx, addr, dist.WorkerConfig{
-				Name: fmt.Sprintf("worker-%d@%v", i, rate),
-				Rate: rate,
+				Name:      fmt.Sprintf("worker-%d@%v", i, rate),
+				Rate:      rate,
+				TimeScale: 0.001, // Execute below compresses 1000x
 				Execute: func(t task.Task) time.Duration {
 					d := time.Duration(float64(t.Size.TimeOn(rate)) * float64(time.Millisecond))
 					time.Sleep(d)
 					return d
 				},
 			})
-			if err != nil && err != context.Canceled {
+			if err != nil && !errors.Is(err, context.Canceled) {
 				log.Printf("worker %d: %v", i, err)
 			}
 		}(i, rate)

@@ -1,0 +1,3 @@
+module pnsched
+
+go 1.24

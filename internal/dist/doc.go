@@ -1,0 +1,67 @@
+// Package dist is the live counterpart of the discrete-event simulator:
+// it runs the paper's §3 architecture — one dedicated scheduling
+// processor assigning batches of independent tasks to heterogeneous
+// client processors — as a real TCP service.
+//
+// The Server plays the scheduling processor. Workers (started with
+// RunWorker, or the pnworker binary on another machine) connect, declare
+// a Linpack-style execution rating, and process the tasks they are
+// assigned strictly in order. The server drives any sched.Batch
+// scheduler — in production the PN genetic algorithm (internal/core) —
+// over dynamic batches drawn from the FCFS queue of unscheduled tasks,
+// exactly as the simulator does, but against the live machine set:
+//
+//   - Workers may join and leave at any time. Each batch is scheduled
+//     against a snapshot of the workers connected at that instant.
+//   - If a worker disconnects (crash, network partition, shutdown), every
+//     task assigned to it that has not been reported complete is returned
+//     to the unscheduled queue and rescheduled onto the surviving workers
+//     — the paper's dynamic rescheduling. Tasks scheduled onto a worker
+//     that vanished before dispatch are reissued the same way.
+//   - Dispatch is paced by a per-worker backlog threshold: while every
+//     worker holds ServerConfig.Backlog unfinished tasks, further
+//     batches stay in the unscheduled queue. Work is therefore placed
+//     shortly before it runs, against current beliefs and the current
+//     machine set, rather than pinned to workers up front.
+//   - Per-worker execution rates are exponentially smoothed (§3.6) from
+//     observed task throughput, seeded with the claimed rating, so the
+//     scheduler's beliefs track reality as traffic flows. Per-link
+//     communication overheads Γc are estimated from the round-trip slack
+//     of tasks dispatched to an otherwise idle worker.
+//
+// # Wire protocol
+//
+// The protocol is newline-delimited JSON over a single TCP connection
+// per worker ("JSON lines"): one object per line, three message types.
+//
+// Worker → server, once, immediately after connecting:
+//
+//	{"type":"hello","name":"host-123","rate":314.2}
+//
+// Server → worker, one per scheduled batch that assigns this worker
+// work; tasks are appended to the worker's FIFO queue in order:
+//
+//	{"type":"assign","tasks":[{"id":7,"size":420.5},{"id":12,"size":33.0}]}
+//
+// Worker → server, after each task completes; elapsed is the processing
+// time in simulated seconds (feeding §3.6 rate smoothing) and real the
+// wall-clock processing seconds, whose ratio lets the server convert
+// its round-trip slack measurements onto the simulated clock for the
+// Γc link estimate:
+//
+//	{"type":"done","task":7,"elapsed":1.338,"real":0.0013}
+//
+// Unknown message types are ignored by both sides, so the protocol can
+// grow. Either side detects the other's failure by connection error —
+// there is no separate heartbeat; an idle TCP connection is cheap and a
+// dead one surfaces on the next read or write.
+//
+// # Time scaling
+//
+// Workers simulate task execution by sleeping Size/Rate seconds scaled
+// by WorkerConfig.TimeScale (real seconds per simulated processing
+// second). TimeScale 1 is real time; 0.001 compresses hours of simulated
+// work into seconds, which is how the integration tests and the
+// examples/distributed demo run full workloads in milliseconds. A custom
+// WorkerConfig.Execute hook replaces the sleep for real work.
+package dist

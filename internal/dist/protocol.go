@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// Message types of the JSON-lines wire protocol (see the package
+// documentation for the full grammar).
+const (
+	msgHello  = "hello"  // worker → server: registration
+	msgAssign = "assign" // server → worker: batch of tasks to queue
+	msgDone   = "done"   // worker → server: one task completed
+)
+
+// message is the single envelope for every protocol message; Type
+// selects which of the remaining fields are meaningful. Using one
+// envelope keeps decoding trivial (no two-pass tag dispatch) at the cost
+// of a few always-empty fields per line.
+type message struct {
+	Type string `json:"type"`
+
+	// hello
+	Name string  `json:"name,omitempty"`
+	Rate float64 `json:"rate,omitempty"` // claimed Mflop/s
+
+	// assign
+	Tasks []wireTask `json:"tasks,omitempty"`
+
+	// done
+	Task    int32   `json:"task"`    // task ID (0 is a valid ID — no omitempty)
+	Elapsed float64 `json:"elapsed"` // simulated processing seconds
+	// Real is the wall-clock processing time in seconds. The server
+	// uses the Real:Elapsed ratio to convert its (real) round-trip
+	// slack measurements into the simulated clock for the Γc link
+	// estimate, which keeps the estimate meaningful under compressed
+	// TimeScale. Zero (absent) skips the observation.
+	Real float64 `json:"real,omitempty"`
+}
+
+// wireTask is the on-the-wire form of a task. Arrival is deliberately
+// absent: in the live system a task "arrives" when the server submits
+// it, and the worker has no use for the timestamp.
+type wireTask struct {
+	ID   int32   `json:"id"`
+	Size float64 `json:"size"` // MFLOPs
+}
+
+func toWire(ts []task.Task) []wireTask {
+	out := make([]wireTask, len(ts))
+	for i, t := range ts {
+		out[i] = wireTask{ID: int32(t.ID), Size: float64(t.Size)}
+	}
+	return out
+}
+
+func fromWire(ws []wireTask) []task.Task {
+	out := make([]task.Task, len(ws))
+	for i, w := range ws {
+		out[i] = task.Task{ID: task.ID(w.ID), Size: units.MFlops(w.Size)}
+	}
+	return out
+}
+
+// readHello decodes the first message on a fresh connection and verifies
+// it is a well-formed registration.
+func readHello(dec *json.Decoder) (name string, rate units.Rate, err error) {
+	var m message
+	if err := dec.Decode(&m); err != nil {
+		return "", 0, fmt.Errorf("dist: reading hello: %w", err)
+	}
+	if m.Type != msgHello {
+		return "", 0, fmt.Errorf("dist: expected %q message, got %q", msgHello, m.Type)
+	}
+	if m.Name == "" {
+		return "", 0, fmt.Errorf("dist: hello with empty worker name")
+	}
+	if m.Rate <= 0 {
+		return "", 0, fmt.Errorf("dist: worker %s claimed non-positive rate %v", m.Name, m.Rate)
+	}
+	return m.Name, units.Rate(m.Rate), nil
+}
+
+// isClosedErr reports whether err looks like the normal teardown of a
+// connection (EOF, or a read/write on a closed socket) rather than a
+// protocol failure.
+func isClosedErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
+}

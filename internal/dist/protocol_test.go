@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	in := []task.Task{
+		{ID: 0, Size: 12.5}, // ID 0 must survive (no omitempty pitfalls)
+		{ID: 7, Size: 420},
+	}
+	out := fromWire(toWire(in))
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].Size != in[i].Size {
+			t.Errorf("task %d round-tripped to %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDoneMessagePreservesTaskZero(t *testing.T) {
+	b, err := json.Marshal(&message{Type: msgDone, Task: 0, Elapsed: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m message
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Task != 0 || m.Elapsed != 1.5 {
+		t.Errorf("decoded %+v, want task 0 elapsed 1.5", m)
+	}
+	if !strings.Contains(string(b), `"task":0`) {
+		t.Errorf("encoded done message %s omits task id 0", b)
+	}
+}
+
+func TestReadHelloValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		ok   bool
+	}{
+		{"valid", `{"type":"hello","name":"w1","rate":100}`, true},
+		{"wrong type", `{"type":"done","task":1}`, false},
+		{"empty name", `{"type":"hello","rate":100}`, false},
+		{"zero rate", `{"type":"hello","name":"w1"}`, false},
+		{"negative rate", `{"type":"hello","name":"w1","rate":-5}`, false},
+		{"garbage", `not json`, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			name, rate, err := readHello(json.NewDecoder(strings.NewReader(c.line)))
+			if c.ok && err != nil {
+				t.Fatalf("readHello(%s) = %v", c.line, err)
+			}
+			if !c.ok && err == nil {
+				t.Fatalf("readHello(%s) accepted invalid hello (%q, %v)", c.line, name, rate)
+			}
+			if c.ok && (name != "w1" || rate != units.Rate(100)) {
+				t.Errorf("readHello = %q, %v; want w1, 100", name, rate)
+			}
+		})
+	}
+}

@@ -1,0 +1,612 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnsched/internal/sched"
+	"pnsched/internal/smoothing"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// DefaultNu is the smoothing factor used for the server's per-worker
+// rate and per-link communication estimates when ServerConfig.Nu is
+// zero; it matches the paper's ν = 0.5.
+const DefaultNu = 0.5
+
+// DefaultBacklog is the per-worker outstanding-task threshold that
+// pauses batch scheduling when ServerConfig.Backlog is zero.
+const DefaultBacklog = 4
+
+// ErrServerClosed is returned by Wait when the server is closed before
+// all submitted tasks complete.
+var ErrServerClosed = errors.New("dist: server closed")
+
+// ServerConfig configures a scheduling server.
+type ServerConfig struct {
+	// Scheduler maps each batch of unscheduled tasks onto the connected
+	// workers. Required. If it also implements sched.BatchSizer (as the
+	// PN scheduler does), it chooses its own batch sizes per §3.7;
+	// otherwise sched.DefaultBatchSize is used.
+	Scheduler sched.Batch
+	// Logf receives progress logging (worker joins/leaves, batch
+	// dispatches, reissues). Nil disables logging.
+	Logf func(format string, args ...any)
+	// Nu is the exponential-smoothing factor for observed worker rates
+	// and link overheads; 0 selects DefaultNu.
+	Nu float64
+	// Backlog paces dispatch: while every connected worker holds at
+	// least this many unfinished tasks, further batches stay in the
+	// unscheduled queue. Keeping most work undispatched is what makes
+	// the scheduling dynamic — late-joining workers receive their share
+	// from subsequent batches, and smoothed rate observations steer
+	// placement instead of being decided once up front. 0 selects
+	// DefaultBacklog.
+	Backlog int
+}
+
+// Server is the dedicated scheduling processor of the paper's §3,
+// serving a TCP endpoint that pnworker clients connect to. Create with
+// NewServer; all methods are safe for concurrent use.
+type Server struct {
+	cfg     ServerConfig
+	nu      float64
+	backlog int
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast on every state change
+	ln        net.Listener
+	workers   []*remoteWorker // connected, in registration order
+	queue     *task.Queue     // unscheduled FCFS queue (incl. reissues)
+	submitted int
+	completed int
+	reissued  int
+	closed    bool
+	start     time.Time
+}
+
+// remoteWorker is the server-side record of one connected client
+// processor. All mutable fields are guarded by the owning Server's mu;
+// the out channel is drained by a dedicated writer goroutine so no
+// TCP write ever happens under the lock.
+type remoteWorker struct {
+	name    string
+	claimed units.Rate
+	conn    net.Conn
+	out     chan message // assign messages; closed on unregister
+
+	rate        *smoothing.Smoother // observed Mflop/s, primed with claimed
+	comm        *smoothing.Smoother // per-task link overhead, seconds
+	outstanding map[task.ID]pendingTask
+	pending     units.MFlops // total outstanding work
+	completed   int          // tasks this worker finished
+	gone        bool         // unregistered; no further dispatches
+}
+
+// pendingTask is a dispatched-but-unfinished task plus the bookkeeping
+// for the Γc link-overhead estimate.
+type pendingTask struct {
+	t      task.Task
+	sentAt time.Time
+	// soloDispatch marks tasks dispatched to a worker with an empty
+	// queue: for those, round-trip minus processing time approximates
+	// the link overhead without queueing noise.
+	soloDispatch bool
+}
+
+// WorkerStatus is a point-in-time summary of one connected worker,
+// exposed for monitoring and tests.
+type WorkerStatus struct {
+	Name      string
+	Claimed   units.Rate   // rate declared in the hello message
+	Believed  units.Rate   // smoothed observed rate (§3.6)
+	Pending   units.MFlops // dispatched but unfinished work
+	Completed int          // tasks finished on this worker
+}
+
+// NewServer returns a server driving the given scheduler. It does not
+// listen yet; call ListenAndServe or Serve.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Scheduler == nil {
+		return nil, errors.New("dist: ServerConfig.Scheduler is required")
+	}
+	if cfg.Nu < 0 || cfg.Nu > 1 {
+		return nil, fmt.Errorf("dist: smoothing factor %v outside [0,1]", cfg.Nu)
+	}
+	if cfg.Backlog < 0 {
+		return nil, fmt.Errorf("dist: negative backlog %d", cfg.Backlog)
+	}
+	nu := cfg.Nu
+	if nu == 0 {
+		nu = DefaultNu
+	}
+	backlog := cfg.Backlog
+	if backlog == 0 {
+		backlog = DefaultBacklog
+	}
+	s := &Server{
+		cfg:     cfg,
+		nu:      nu,
+		backlog: backlog,
+		queue:   task.NewQueue(64),
+		start:   time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.scheduleLoop()
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on the given TCP address and serves worker
+// connections until Close. Like net/http, it returns nil (not an error)
+// when the server is shut down with Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts worker connections on ln until Close. It takes ownership
+// of the listener. It returns nil when the server is closed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil // already shut down: nil, as documented
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || isClosedErr(err) {
+				return nil
+			}
+			return err
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the listening address, or nil before Serve has installed
+// a listener — useful with ":0" ephemeral ports.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Submit appends tasks to the unscheduled FCFS queue. Tasks are
+// scheduled onto workers in batches as capacity and the batch sizer
+// allow; Submit may be called any number of times, including while
+// earlier submissions are still processing. Submissions after Close are
+// dropped.
+func (s *Server) Submit(ts []task.Task) {
+	if len(ts) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.submitted += len(ts)
+	s.queue.PushAll(ts)
+	s.cond.Broadcast()
+}
+
+// Wait blocks until every submitted task has completed (at least one
+// task must have been submitted), the timeout elapses, or the server is
+// closed. A non-positive timeout means wait indefinitely.
+func (s *Server) Wait(timeout time.Duration) error {
+	var timedOut atomic.Bool
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			timedOut.Store(true)
+			// Take mu so the store cannot slip between a waiter's check
+			// of timedOut and its cond.Wait registration — an unlocked
+			// Broadcast there would be lost and Wait could block past
+			// its deadline.
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer t.Stop()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.submitted > 0 && s.completed == s.submitted {
+			return nil
+		}
+		if s.closed {
+			return ErrServerClosed
+		}
+		if timedOut.Load() {
+			return fmt.Errorf("dist: wait: %d/%d tasks complete after %v",
+				s.completed, s.submitted, timeout)
+		}
+		s.cond.Wait()
+	}
+}
+
+// Stats reports lifetime counters: tasks submitted, tasks completed,
+// tasks reissued after losing their worker, and the number of currently
+// connected workers.
+func (s *Server) Stats() (submitted, completed, reissued, workers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submitted, s.completed, s.reissued, len(s.workers)
+}
+
+// Workers returns a snapshot of the connected workers.
+func (s *Server) Workers() []WorkerStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerStatus, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = WorkerStatus{
+			Name:      w.name,
+			Claimed:   w.claimed,
+			Believed:  units.Rate(w.rate.ValueOr(float64(w.claimed))),
+			Pending:   w.pending,
+			Completed: w.completed,
+		}
+	}
+	return out
+}
+
+// Close shuts the server down: the listener is closed, every worker
+// connection is dropped, and blocked Wait calls return ErrServerClosed.
+// Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, len(s.workers))
+	for i, w := range s.workers {
+		conns[i] = w.conn
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// helloTimeout bounds how long an accepted connection may sit silent
+// before sending its hello. Without it, a port scanner or half-open
+// connection would pin a goroutine and fd for the process lifetime
+// (pre-registration conns are not yet tracked, so Close cannot reach
+// them).
+const helloTimeout = 10 * time.Second
+
+// handleConn owns one worker connection: registration, the read loop
+// for done messages, and teardown with task reissue.
+func (s *Server) handleConn(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	dec := json.NewDecoder(conn)
+	name, claimed, err := readHello(dec)
+	if err != nil {
+		if !isClosedErr(err) {
+			s.logf("dist: rejecting connection from %v: %v", conn.RemoteAddr(), err)
+		}
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{}) // registered: read blocks indefinitely
+
+	w := &remoteWorker{
+		name:        name,
+		claimed:     claimed,
+		conn:        conn,
+		out:         make(chan message, 16),
+		rate:        smoothing.New(s.nu),
+		comm:        smoothing.New(s.nu),
+		outstanding: make(map[task.ID]pendingTask),
+	}
+	w.rate.Observe(float64(claimed)) // prime beliefs with the claimed rating
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.workers = append(s.workers, w)
+	s.cond.Broadcast() // queued work may now be schedulable
+	s.mu.Unlock()
+	s.logf("dist: worker %s joined at %v (%v)", name, conn.RemoteAddr(), claimed)
+
+	go s.writeLoop(w)
+
+	// Read loop: done messages until the connection drops.
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			if !isClosedErr(err) {
+				s.logf("dist: worker %s read error: %v", name, err)
+			}
+			break
+		}
+		switch m.Type {
+		case msgDone:
+			s.handleDone(w, task.ID(m.Task), units.Seconds(m.Elapsed), m.Real)
+		default:
+			// Unknown types are ignored so the protocol can evolve.
+		}
+	}
+	s.unregister(w)
+}
+
+// writeLoop drains a worker's outbound queue onto its connection. A
+// write failure closes the connection, which surfaces in the read loop
+// and triggers unregistration there.
+func (s *Server) writeLoop(w *remoteWorker) {
+	enc := json.NewEncoder(w.conn)
+	for m := range w.out {
+		if err := enc.Encode(&m); err != nil {
+			w.conn.Close()
+			return
+		}
+	}
+}
+
+// handleDone records one completed task: counters, load accounting, and
+// the §3.6 smoothed rate / link-overhead observations. real is the
+// worker-reported wall-clock processing time in seconds (0 if absent).
+func (s *Server) handleDone(w *remoteWorker, id task.ID, elapsed units.Seconds, real float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := w.outstanding[id]
+	if !ok {
+		return // stale or duplicate report
+	}
+	delete(w.outstanding, id)
+	w.pending -= p.t.Size
+	if w.pending < 0 {
+		w.pending = 0
+	}
+	w.completed++
+	s.completed++
+	if elapsed > 0 {
+		w.rate.Observe(float64(p.t.Size) / float64(elapsed))
+	}
+	if p.soloDispatch && real > 0 && elapsed > 0 {
+		// For tasks that never queued, round-trip slack — wall time from
+		// dispatch to report minus wall processing time — is the link
+		// overhead in real seconds. Scale it by elapsed/real (the
+		// worker's simulated:real clock ratio) so Γc lives on the same
+		// simulated clock as every other scheduler quantity, whatever
+		// the worker's TimeScale. Smoothing and the solo-dispatch gate
+		// bound the jitter this amplifies under heavy compression.
+		if slack := time.Since(p.sentAt).Seconds() - real; slack > 0 {
+			w.comm.Observe(slack * float64(elapsed) / real)
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// unregister removes a worker and returns its unfinished tasks to the
+// unscheduled queue (the paper's dynamic rescheduling on machine loss).
+func (s *Server) unregister(w *remoteWorker) {
+	w.conn.Close()
+	s.mu.Lock()
+	if w.gone {
+		s.mu.Unlock()
+		return
+	}
+	w.gone = true
+	for i, x := range s.workers {
+		if x == w {
+			s.workers = append(s.workers[:i], s.workers[i+1:]...)
+			break
+		}
+	}
+	lost := make([]task.Task, 0, len(w.outstanding))
+	for _, p := range w.outstanding {
+		lost = append(lost, p.t)
+	}
+	w.outstanding = nil
+	// Reissue in deterministic (ID) order so reruns behave alike.
+	sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
+	s.reissued += len(lost)
+	s.queue.PushAll(lost)
+	close(w.out)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if len(lost) > 0 {
+		s.logf("dist: worker %s left; reissuing %d tasks", w.name, len(lost))
+	} else {
+		s.logf("dist: worker %s left", w.name)
+	}
+}
+
+// scheduleLoop is the scheduling processor proper: whenever unscheduled
+// tasks and at least one worker exist, it snapshots the system, sizes
+// the next batch (§3.7 when the scheduler implements sched.BatchSizer),
+// runs the batch scheduler outside the lock, and dispatches the
+// resulting assignment.
+func (s *Server) scheduleLoop() {
+	for {
+		s.mu.Lock()
+		for !s.closed && (s.queue.Empty() || !s.wantsWorkLocked()) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		snap := s.snapshotLocked()
+		n := sched.DefaultBatchSize
+		if bs, ok := s.cfg.Scheduler.(sched.BatchSizer); ok {
+			n = bs.NextBatchSize(s.queue.Len(), snap)
+		}
+		if n > s.queue.Len() {
+			n = s.queue.Len()
+		}
+		if n < 1 {
+			n = 1
+		}
+		batch := s.queue.PopN(n)
+		s.mu.Unlock()
+
+		// The GA runs for real wall-clock time here; the lock is free so
+		// workers keep reporting completions and joining/leaving.
+		asg, cost := s.cfg.Scheduler.ScheduleBatch(batch, snap)
+		s.logf("dist: scheduled batch of %d tasks across %d workers (modelled cost %v)",
+			len(batch), snap.M(), cost)
+
+		s.mu.Lock()
+		s.dispatchLocked(snap.workers, asg)
+		s.mu.Unlock()
+	}
+}
+
+// wantsWorkLocked reports whether some connected worker is running low
+// on dispatched work — the pacing condition of the scheduling loop.
+// Caller holds mu.
+func (s *Server) wantsWorkLocked() bool {
+	for _, w := range s.workers {
+		if len(w.outstanding) < s.backlog {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchLocked sends an assignment to the workers it was computed
+// for. Tasks assigned to a worker that disconnected while the scheduler
+// ran are pushed back onto the queue and counted as reissued.
+func (s *Server) dispatchLocked(workers []*remoteWorker, asg sched.Assignment) {
+	now := time.Now()
+	for j, ts := range asg {
+		if len(ts) == 0 {
+			continue
+		}
+		w := workers[j]
+		if w.gone || s.closed {
+			s.reissued += len(ts)
+			s.queue.PushAll(ts)
+			continue
+		}
+		solo := len(w.outstanding) == 0
+		for _, t := range ts {
+			w.outstanding[t.ID] = pendingTask{t: t, sentAt: now, soloDispatch: solo}
+			w.pending += t.Size
+			solo = false
+		}
+		m := message{Type: msgAssign, Tasks: toWire(ts)}
+		select {
+		case w.out <- m:
+		default:
+			// The writer is wedged (worker stopped reading); drop the
+			// connection — the read loop will reissue everything.
+			w.conn.Close()
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// snapshot implements sched.State over a fixed view of the connected
+// workers, so the batch scheduler sees a coherent system while the live
+// one keeps moving underneath.
+type snapshot struct {
+	workers []*remoteWorker
+	rates   []units.Rate
+	loads   []units.MFlops
+	comm    []units.Seconds
+	now     units.Seconds
+}
+
+// snapshotLocked captures the scheduler-visible state. Caller holds mu.
+func (s *Server) snapshotLocked() *snapshot {
+	m := len(s.workers)
+	v := &snapshot{
+		workers: append([]*remoteWorker(nil), s.workers...),
+		rates:   make([]units.Rate, m),
+		loads:   make([]units.MFlops, m),
+		comm:    make([]units.Seconds, m),
+		now:     units.Seconds(time.Since(s.start).Seconds()),
+	}
+	for j, w := range s.workers {
+		v.rates[j] = units.Rate(w.rate.ValueOr(float64(w.claimed)))
+		v.loads[j] = w.pending
+		v.comm[j] = units.Seconds(w.comm.ValueOr(0))
+	}
+	return v
+}
+
+// M implements sched.State.
+func (v *snapshot) M() int { return len(v.workers) }
+
+// Rate implements sched.State.
+func (v *snapshot) Rate(j int) units.Rate { return v.rates[j] }
+
+// PendingLoad implements sched.State.
+func (v *snapshot) PendingLoad(j int) units.MFlops { return v.loads[j] }
+
+// CommEstimate implements sched.State.
+func (v *snapshot) CommEstimate(j int) units.Seconds { return v.comm[j] }
+
+// Now implements sched.State; live time is wall-clock seconds since the
+// server started.
+func (v *snapshot) Now() units.Seconds { return v.now }
+
+// TimeUntilFirstIdle implements sched.State with the semantics the
+// simulator uses: the soonest moment a loaded worker runs dry, 0 if some
+// worker already idles while others hold work, +Inf when nothing is
+// loaded.
+func (v *snapshot) TimeUntilFirstIdle() units.Seconds {
+	anyLoaded := false
+	min := units.Inf()
+	for j := range v.workers {
+		if v.loads[j] == 0 {
+			continue
+		}
+		anyLoaded = true
+		if d := v.loads[j].TimeOn(v.rates[j]); d < min {
+			min = d
+		}
+	}
+	if !anyLoaded {
+		return units.Inf()
+	}
+	for j := range v.workers {
+		if v.loads[j] == 0 {
+			return 0 // an idle worker exists while work is pending elsewhere
+		}
+	}
+	return min
+}

@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// WorkerConfig configures one client processor.
+type WorkerConfig struct {
+	// Name identifies the worker in server logs and statistics; empty
+	// selects Name()'s host-pid default.
+	Name string
+	// Rate is the claimed execution rate in Mflop/s — in production the
+	// worker's Linpack rating (internal/linpack). Must be positive.
+	Rate units.Rate
+	// TimeScale is the number of real seconds slept per simulated
+	// processing second when Execute is nil; 0 selects 1 (real time).
+	// Small values (e.g. 0.001) compress simulated workloads so demos
+	// and tests finish in milliseconds.
+	TimeScale float64
+	// Execute, when non-nil, replaces the simulated sleep: it performs
+	// the task and returns the real time spent, which is divided by
+	// TimeScale before being reported as the processing time. Execute is
+	// responsible for honouring any cancellation of its own.
+	Execute func(t task.Task) time.Duration
+}
+
+// Name returns the default worker name, "hostname-pid" — unique enough
+// for a fleet of workers started across a cluster by the same operator.
+func Name() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// RunWorker connects to a scheduling server at addr and processes
+// assigned tasks strictly in FIFO order until the context is cancelled
+// (returning ctx.Err()) or the server closes the connection (returning
+// nil). Task execution is simulated — sleep Size/Rate scaled by
+// TimeScale — unless cfg.Execute is set.
+func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
+	if cfg.Rate <= 0 {
+		return fmt.Errorf("dist: worker rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.Name == "" {
+		cfg.Name = Name()
+	}
+	timeScale := cfg.TimeScale
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err() // cancelled while dialing: plain ctx error
+		}
+		return fmt.Errorf("dist: worker %s: %w", cfg.Name, err)
+	}
+	defer conn.Close()
+	// Cancellation unblocks the decoder by closing the socket.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(&message{Type: msgHello, Name: cfg.Name, Rate: float64(cfg.Rate)}); err != nil {
+		return fmt.Errorf("dist: worker %s: sending hello: %w", cfg.Name, err)
+	}
+
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+
+	// Reader: append assignments to the local FIFO queue. Runs until the
+	// connection dies, then wakes the processing loop with the error.
+	go func() {
+		dec := json.NewDecoder(conn)
+		for {
+			var m message
+			if err := dec.Decode(&m); err != nil {
+				q.fail(err)
+				return
+			}
+			if m.Type == msgAssign {
+				q.push(fromWire(m.Tasks))
+			}
+		}
+	}()
+
+	for {
+		t, err := q.pop(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if isClosedErr(err) {
+				return nil // server hung up: normal shutdown
+			}
+			return fmt.Errorf("dist: worker %s: %w", cfg.Name, err)
+		}
+
+		simulated := t.Size.TimeOn(cfg.Rate)
+		elapsed := simulated
+		var real time.Duration
+		if cfg.Execute != nil {
+			real = cfg.Execute(t)
+			elapsed = units.Seconds(real.Seconds() / timeScale)
+		} else {
+			real = time.Duration(float64(simulated) * timeScale * float64(time.Second))
+			if !sleepCtx(ctx, real) {
+				return ctx.Err()
+			}
+		}
+		done := message{
+			Type:    msgDone,
+			Task:    int32(t.ID),
+			Elapsed: float64(elapsed),
+			Real:    real.Seconds(),
+		}
+		if err := enc.Encode(&done); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if isClosedErr(err) {
+				return nil
+			}
+			return fmt.Errorf("dist: worker %s: reporting completion: %w", cfg.Name, err)
+		}
+	}
+}
+
+// workQueue is the worker's local FIFO of assigned-but-unprocessed
+// tasks: unbounded, so a slow worker absorbs any batch the scheduler
+// hands it without blocking the connection reader.
+type workQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	tasks []task.Task
+	err   error
+}
+
+func (q *workQueue) push(ts []task.Task) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, ts...)
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *workQueue) fail(err error) {
+	if err == nil {
+		err = errors.New("dist: connection reader stopped")
+	}
+	q.mu.Lock()
+	q.err = err
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// pop blocks until a task is available or the connection has failed.
+// Queued tasks are drained before the failure is reported, so work
+// already accepted is finished (and its completion report surfaces the
+// broken connection if the server is truly gone).
+func (q *workQueue) pop(ctx context.Context) (task.Task, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.tasks) == 0 && q.err == nil && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	if len(q.tasks) > 0 {
+		t := q.tasks[0]
+		q.tasks = q.tasks[1:]
+		return t, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return task.Task{}, err
+	}
+	return task.Task{}, q.err
+}
+
+// sleepCtx sleeps for d, returning false if the context is cancelled
+// first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
