@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint bench ci
+.PHONY: build test lint bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,4 +20,11 @@ lint:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-ci: build lint test bench
+# One pass of the island-vs-sequential benchmarks plus the pnbench
+# island study; BENCH_island.json is the machine-readable record CI
+# uploads as an artifact.
+bench-smoke:
+	$(GO) test ./internal/core -run=NONE -bench=BenchmarkIslandEvolve -benchtime=1x
+	$(GO) run ./cmd/pnbench -figure island -profile fast -json BENCH_island.json
+
+ci: build lint test bench bench-smoke

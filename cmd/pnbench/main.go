@@ -1,22 +1,31 @@
-// Command pnbench regenerates the paper's figures.
+// Command pnbench regenerates the paper's figures and the repo's
+// supplementary experiments.
 //
 // Usage:
 //
 //	pnbench -figure 5                 # one figure, default profile
 //	pnbench -figure all -profile paper
-//	pnbench -figure 3 -csv out/      # also write CSV files
+//	pnbench -figure 3 -csv out/       # also write CSV files
+//	pnbench -figure island -json bench.json
 //
 // Profiles: fast (seconds), default (a minute or two), paper (the
 // published scale: 10,000 tasks, 50 processors, 20 repeats, 1000
 // generations).
+//
+// -json writes every rendered table as machine-readable records (name,
+// profile, seed, column headers, data rows, wall-clock) so result
+// files can accumulate across runs — including the island experiment's
+// island-vs-sequential numbers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"pnsched/internal/experiments"
@@ -24,15 +33,22 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "paper figure (3-11), supplementary experiment (extended, scalability, dynamic), 'all' figures, or 'everything'")
+		figure  = flag.String("figure", "all", "paper figure (3-11), supplementary experiment (extended, scalability, dynamic, island), 'all' figures, or 'everything'")
 		profile = flag.String("profile", "default", "experiment scale: fast, default, or paper")
 		seed    = flag.Uint64("seed", 0, "override the profile's base seed")
 		workers = flag.Int("workers", 0, "parallel workers (0: all CPUs)")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
+		jsonOut = flag.String("json", "", "file to write machine-readable results into")
 	)
 	flag.Parse()
 
+	// Validate everything before any work: a typo must not cost a
+	// partially completed multi-minute run.
 	p, err := profileByName(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	names, err := resolveFigures(*figure)
 	if err != nil {
 		fatal(err)
 	}
@@ -43,8 +59,91 @@ func main() {
 		p.Workers = *workers
 	}
 
+	report := jsonReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Profile:     p.Name,
+		Seed:        p.Seed,
+	}
+	for _, name := range names {
+		start := time.Now()
+		fig, err := experiments.RunNamed(name, p)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+
+		var csv *os.File
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*csvDir, figureLabel(name)+".csv")
+			if csv, err = os.Create(path); err != nil {
+				fatal(err)
+			}
+		}
+		if csv != nil {
+			experiments.RenderFigure(fig, os.Stdout, csv)
+			csv.Close()
+		} else {
+			experiments.RenderFigure(fig, os.Stdout, nil)
+		}
+		fmt.Printf("\n[%s done in %v]\n\n", name, elapsed.Round(time.Millisecond))
+
+		tbl := fig.Table()
+		report.Results = append(report.Results, jsonFigure{
+			Name:      name,
+			Title:     tbl.Title,
+			Header:    tbl.Header,
+			Rows:      tbl.Rows,
+			ElapsedMS: elapsed.Milliseconds(),
+		})
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, report); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// jsonReport is the schema of a -json results file: one run of pnbench
+// with one record per rendered experiment.
+type jsonReport struct {
+	GeneratedAt string       `json:"generated_at"`
+	Profile     string       `json:"profile"`
+	Seed        uint64       `json:"seed"`
+	Results     []jsonFigure `json:"results"`
+}
+
+// jsonFigure is one experiment's table plus its wall-clock cost.
+type jsonFigure struct {
+	Name      string     `json:"name"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+}
+
+func writeJSON(path string, report jsonReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// resolveFigures expands the -figure value into experiment names and
+// rejects unknown ones up front, listing what is valid.
+func resolveFigures(figure string) ([]string, error) {
 	var names []string
-	switch *figure {
+	switch figure {
 	case "all":
 		for _, fig := range experiments.Figures {
 			names = append(names, strconv.Itoa(fig))
@@ -55,37 +154,34 @@ func main() {
 		}
 		names = append(names, experiments.Supplementary...)
 	default:
-		names = []string{*figure}
+		names = []string{figure}
 	}
-
 	for _, name := range names {
-		start := time.Now()
-		var csv *os.File
-		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fatal(err)
-			}
-			label := name
-			if _, err := strconv.Atoi(name); err == nil {
-				label = "fig" + name
-			}
-			path := filepath.Join(*csvDir, label+".csv")
-			csv, err = os.Create(path)
-			if err != nil {
-				fatal(err)
-			}
+		if !experiments.Known(name) {
+			return nil, fmt.Errorf("unknown figure %q (valid: %s, all, everything)", name, validFigureList())
 		}
-		if csv != nil {
-			err = experiments.RenderNamed(name, p, os.Stdout, csv)
-			csv.Close()
-		} else {
-			err = experiments.RenderNamed(name, p, os.Stdout, nil)
-		}
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("\n[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return names, nil
+}
+
+// validFigureList renders every accepted -figure value for error
+// messages.
+func validFigureList() string {
+	var parts []string
+	for _, fig := range experiments.Figures {
+		parts = append(parts, strconv.Itoa(fig))
+	}
+	parts = append(parts, experiments.Supplementary...)
+	return strings.Join(parts, ", ")
+}
+
+// figureLabel names the CSV file for an experiment: numeric figures
+// get a "fig" prefix.
+func figureLabel(name string) string {
+	if _, err := strconv.Atoi(name); err == nil {
+		return "fig" + name
+	}
+	return name
 }
 
 func profileByName(name string) (experiments.Profile, error) {

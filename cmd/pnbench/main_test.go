@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pnsched/internal/experiments"
+)
+
+func TestResolveFiguresAll(t *testing.T) {
+	names, err := resolveFigures("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(experiments.Figures) {
+		t.Errorf("all resolved to %d names, want %d", len(names), len(experiments.Figures))
+	}
+}
+
+func TestResolveFiguresEverythingIncludesIsland(t *testing.T) {
+	names, err := resolveFigures("everything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range names {
+		if n == "island" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("everything did not include the island experiment: %v", names)
+	}
+}
+
+func TestResolveFiguresRejectsUnknownUpFront(t *testing.T) {
+	for _, bad := range []string{"12", "2", "3x", "islnd", "fig5", ""} {
+		_, err := resolveFigures(bad)
+		if err == nil {
+			t.Errorf("%q accepted", bad)
+			continue
+		}
+		// The error must teach the valid values.
+		for _, want := range []string{"3", "11", "island", "everything"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%q error %q does not list %q", bad, err, want)
+			}
+		}
+	}
+}
+
+func TestProfileByNameRejectsUnknown(t *testing.T) {
+	for _, name := range []string{"fast", "default", "paper"} {
+		if _, err := profileByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := profileByName("slow"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	report := jsonReport{
+		GeneratedAt: "2026-01-01T00:00:00Z",
+		Profile:     "fast",
+		Seed:        2005,
+		Results: []jsonFigure{{
+			Name:      "island",
+			Title:     "Island model",
+			Header:    []string{"islands", "makespan[s]", "wall[ms]", "speedup", "evals"},
+			Rows:      [][]string{{"1 (seq)", "13.0", "90", "1", "16000"}},
+			ElapsedMS: 123,
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeJSON(path, report); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back jsonReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written file is not valid JSON: %v", err)
+	}
+	if back.Results[0].Name != "island" || back.Results[0].Rows[0][0] != "1 (seq)" {
+		t.Errorf("round-trip mangled the report: %+v", back)
+	}
+}

@@ -28,14 +28,17 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:9000", "address to listen on")
-		nTasks  = flag.Int("tasks", 500, "tasks to generate (ignored with -workload)")
-		wlFile  = flag.String("workload", "", "load tasks from a pnworkload JSON file")
-		batch   = flag.Int("batch", sched.DefaultBatchSize, "initial/fixed batch size")
-		dynamic = flag.Bool("dynamic-batch", true, "size batches dynamically (§3.7)")
-		gens    = flag.Int("generations", 1000, "GA generations per batch")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		listen   = flag.String("listen", "127.0.0.1:9000", "address to listen on")
+		nTasks   = flag.Int("tasks", 500, "tasks to generate (ignored with -workload)")
+		wlFile   = flag.String("workload", "", "load tasks from a pnworkload JSON file")
+		batch    = flag.Int("batch", sched.DefaultBatchSize, "initial/fixed batch size")
+		dynamic  = flag.Bool("dynamic-batch", true, "size batches dynamically (§3.7)")
+		gens     = flag.Int("generations", 1000, "GA generations per batch")
+		islands  = flag.Int("islands", 0, "schedule with the island-model GA across this many islands (0: sequential PN, -1: one island per CPU)")
+		interval = flag.Int("migration-interval", 0, "generations between island migrations (0: default)")
+		migrants = flag.Int("migrants", 0, "elites exchanged per island migration (0: default)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
 
@@ -69,8 +72,17 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	var scheduler sched.Batch = core.NewPN(cfg, rng.New(*seed).Stream(1))
+	if *islands != 0 {
+		icfg := core.IslandConfig{
+			Islands:           *islands, // negative selects one per CPU
+			MigrationInterval: *interval,
+			Migrants:          *migrants,
+		}
+		scheduler = core.NewPNIsland(cfg, icfg, rng.New(*seed).Stream(1))
+	}
 	srv, err := dist.NewServer(dist.ServerConfig{
-		Scheduler: core.NewPN(cfg, rng.New(*seed).Stream(1)),
+		Scheduler: scheduler,
 		Logf:      logf,
 	})
 	if err != nil {

@@ -1,23 +1,33 @@
 // Package pnsched reproduces "Dynamic task scheduling using genetic
 // algorithms for heterogeneous distributed computing" (Page & Naughton,
-// IPPS/IPDPS 2005): the PN dynamic batch-mode GA scheduler, the six
-// comparison schedulers of §4.1 (EF, LL, RR, MM, MX, ZO), a
-// discrete-event simulator of the heterogeneous distributed system the
-// paper evaluates on, a live TCP scheduler/worker runtime, and a
-// benchmark harness that regenerates every figure of the evaluation.
+// IPPS/IPDPS 2005): the PN dynamic batch-mode GA scheduler — in its
+// sequential form and as a parallel island model (internal/island,
+// core.PNIsland) that evolves one population per CPU with ring
+// migration of elites — the six comparison schedulers of §4.1 (EF, LL,
+// RR, MM, MX, ZO), a discrete-event simulator of the heterogeneous
+// distributed system the paper evaluates on, a live TCP
+// scheduler/worker runtime, and a benchmark harness that regenerates
+// every figure of the evaluation plus supplementary studies.
 //
-// Start with README.md for the layout, the pnserver/pnworker deployment
-// topology, and the wire protocol (specified in full in
-// internal/dist/doc.go). The runnable entry points are:
+// Start with README.md for the layout, the island-model overview, the
+// pnserver/pnworker deployment topology, and the wire protocol
+// (specified in full in internal/dist/doc.go). The runnable entry
+// points are:
 //
-//	cmd/pnbench    — regenerate paper figures 3–11
+//	cmd/pnbench    — regenerate paper figures 3–11 and the
+//	                 supplementary experiments (extended, scalability,
+//	                 dynamic, island); -json writes machine-readable
+//	                 results
 //	cmd/pnsim      — run a single scheduling simulation
 //	cmd/pnworkload — generate task-set files
-//	cmd/pnserver   — live TCP scheduling server (PN, internal/dist)
+//	cmd/pnserver   — live TCP scheduling server (PN, internal/dist;
+//	                 -islands opts into the island-model GA)
 //	cmd/pnworker   — live worker client (Linpack-rated)
-//	examples/*     — five annotated programs against the library API;
+//	examples/*     — annotated programs against the library API;
 //	                 examples/distributed runs the full server/worker
-//	                 topology over loopback with compressed time
+//	                 topology over loopback with compressed time, and
+//	                 examples/island compares sequential and island
+//	                 scheduling at an equal wall-clock budget
 //
 // Build and test with the Makefile (make ci mirrors the GitHub Actions
 // workflow): go build ./..., go vet, gofmt, go test -race ./..., and a

@@ -1,0 +1,112 @@
+// Island: compare the paper's sequential micro-GA scheduler against
+// the island-model engine at an equal wall-clock budget. Every variant
+// gets the same real-time allowance to schedule the same paper-scale
+// batch (200 tasks onto 50 heterogeneous processors); one island is
+// exactly the sequential engine, more islands search in parallel with
+// ring migration of elites. On a multi-core machine the extra islands
+// buy more genetic search — and so better makespans — for the same
+// wall-clock spend; on a single core they time-share and roughly match
+// the sequential result.
+//
+// Run with:
+//
+//	go run ./examples/island
+//	go run ./examples/island -budget 2s -islands 1,4,16
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"pnsched/internal/core"
+	"pnsched/internal/ga"
+	"pnsched/internal/island"
+	"pnsched/internal/rng"
+	"pnsched/internal/units"
+	"pnsched/internal/workload"
+)
+
+const seed = 11
+
+// problem is one paper-scale batch decision: 200 uniform tasks, 50
+// heterogeneous processors, smoothed per-link communication estimates.
+func problem() *core.Problem {
+	r := rng.New(seed)
+	batch := workload.Generate(workload.Spec{
+		N:     200,
+		Sizes: workload.Uniform{Lo: 10, Hi: 1000},
+	}, r.Stream(1))
+	rr := r.Stream(2)
+	rates := make([]units.Rate, 50)
+	comm := make([]units.Seconds, 50)
+	for j := range rates {
+		rates[j] = units.Rate(rr.Uniform(10, 100))
+		comm[j] = units.Seconds(rr.Uniform(0.1, 2))
+	}
+	return core.BuildProblem(batch, rates, nil, comm, true)
+}
+
+// run evolves the batch with n islands until the wall-clock budget is
+// spent. One island is the sequential §3 engine; the budget enters as
+// each island's Stop condition — the same §3.4 "stop when the budget
+// is gone" mechanism the scheduler uses, expressed in real time — and
+// the first island to notice cancels the rest.
+func run(p *core.Problem, n int, budget time.Duration) island.Result {
+	start := time.Now()
+	setup := func(_ int, ri *rng.RNG) island.Setup {
+		rb := core.NewRebalancer(p)
+		return island.Setup{
+			GA: ga.Config{
+				PopulationSize: core.DefaultPopulation,
+				MaxGenerations: 1 << 30, // the budget is the stop, not the cap
+				Elitism:        true,
+				Stop:           func(int, float64) bool { return time.Since(start) >= budget },
+				PostGeneration: func(pop []ga.Chromosome, r *rng.RNG) {
+					for _, ind := range pop {
+						rb.Apply(ind, core.DefaultRebalances, r)
+					}
+				},
+			},
+			Eval:    p.Evaluator(),
+			Initial: core.ListPopulation(p, core.DefaultPopulation, ri),
+		}
+	}
+	return island.Run(context.Background(), island.Config{Islands: n}, setup, rng.New(seed))
+}
+
+func main() {
+	budget := flag.Duration("budget", 500*time.Millisecond, "wall-clock scheduling budget per variant")
+	counts := flag.String("islands", "1,2,4,8", "comma-separated island counts to compare (1 = sequential)")
+	flag.Parse()
+
+	var ns []int
+	for _, f := range strings.Split(*counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "island: bad island count %q\n", f)
+			os.Exit(1)
+		}
+		ns = append(ns, n)
+	}
+
+	p := problem()
+	fmt.Printf("Equal wall-clock budget: %v per variant, 200 tasks on 50 procs, GOMAXPROCS=%d\n\n",
+		*budget, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-10s %14s %12s %13s %10s\n", "islands", "makespan[s]", "generations", "evaluations", "migrated")
+	for _, n := range ns {
+		res := run(p, n, *budget)
+		label := fmt.Sprint(n)
+		if n == 1 {
+			label = "1 (seq)"
+		}
+		fmt.Printf("%-10s %14.2f %12d %13d %10d\n",
+			label, float64(p.Makespan(res.Best)), res.Generations, res.Evaluations, res.Migrated)
+	}
+	fmt.Println("\nψ (theoretical optimum for this batch):", p.Psi())
+}

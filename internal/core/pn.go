@@ -192,6 +192,7 @@ func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Second
 	perGen := float64(cfg.CostPerGene) * float64(genes) * float64(cfg.Population)
 
 	bestMakespan := units.Inf()
+	mkScratch := make([]units.Seconds, p.M)
 	gaCfg := ga.Config{
 		PopulationSize:         cfg.Population,
 		MaxGenerations:         cfg.Generations,
@@ -200,7 +201,7 @@ func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Second
 		MutationsPerGeneration: cfg.MutationsPerGeneration,
 		Elitism:                true,
 		OnGeneration: func(gen int, best ga.Chromosome, _ float64) {
-			mk := p.Makespan(best)
+			mk := p.MakespanInto(best, mkScratch)
 			if mk < bestMakespan {
 				bestMakespan = mk
 			}
@@ -276,16 +277,23 @@ func (pn *PN) Config() Config { return pn.cfg }
 // the GA runs. Before any idle-time history exists the configured
 // initial batch size is used.
 func (pn *PN) NextBatchSize(queued int, s sched.State) int {
-	h := pn.cfg.InitialBatch
-	if sp := s.TimeUntilFirstIdle(); !pn.cfg.FixedBatch && !sp.IsInf() {
-		gs := pn.sp.Observe(pn.cfg.BatchScale * float64(sp))
+	return nextBatchSize(pn.cfg, pn.sp, queued, s)
+}
+
+// nextBatchSize applies the §3.7 dynamic batch-size rule — shared by
+// the sequential (PN) and island-model (PNIsland) schedulers, which
+// size batches identically.
+func nextBatchSize(cfg Config, sp *smoothing.Smoother, queued int, s sched.State) int {
+	h := cfg.InitialBatch
+	if fi := s.TimeUntilFirstIdle(); !cfg.FixedBatch && !fi.IsInf() {
+		gs := sp.Observe(cfg.BatchScale * float64(fi))
 		h = int(math.Floor(math.Sqrt(gs + 1)))
 	}
-	if h < pn.cfg.MinBatch {
-		h = pn.cfg.MinBatch
+	if h < cfg.MinBatch {
+		h = cfg.MinBatch
 	}
-	if h > pn.cfg.MaxBatch {
-		h = pn.cfg.MaxBatch
+	if h > cfg.MaxBatch {
+		h = cfg.MaxBatch
 	}
 	if h > queued {
 		h = queued

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"runtime"
+
+	"pnsched/internal/ga"
+	"pnsched/internal/island"
+	"pnsched/internal/rng"
+	"pnsched/internal/sched"
+	"pnsched/internal/smoothing"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// IslandConfig parametrises the island-model variant of the PN
+// scheduler: how many populations evolve concurrently per batch
+// decision and how they exchange elites (see internal/island).
+type IslandConfig struct {
+	// Islands is the number of concurrent populations; values below 1
+	// (including zero) select runtime.NumCPU().
+	Islands int
+	// MigrationInterval is the generations between elite exchanges;
+	// values below 1 select island.DefaultMigrationInterval.
+	MigrationInterval int
+	// Migrants is the elites sent per exchange; 0 selects
+	// island.DefaultMigrants, negative disables migration.
+	Migrants int
+}
+
+func (c IslandConfig) islands() int {
+	if c.Islands < 1 {
+		return runtime.NumCPU()
+	}
+	return c.Islands
+}
+
+// EvolveIsland runs the §3 genetic algorithm as a parallel island
+// model over the problem: IslandConfig.Islands independent populations
+// evolve concurrently — each seeded with its own list-scheduling
+// population, rebalanced by its own §3.5 rebalancer, and stopped by
+// the same conditions Evolve honours (generation cap, target makespan,
+// and the budget until the first processor idles) — with ring
+// migration of elites between them. Cancelling ctx aborts all islands
+// promptly.
+//
+// The modelled scheduler cost is the parallel one: the islands run on
+// separate cores, so the charged compute time follows the busiest
+// island, not the sum — that is the speedup the island model buys.
+//
+// The budget is converted up front into a per-island generation cap
+// (every island shares the cost model, so the §3.4 budget stop is a
+// pure function of the generation number), which keeps budget- and
+// cap-terminated runs deterministic in (seed, N). A TargetMakespan
+// stop goes through the live callback instead — the first island to
+// reach the target cancels the rest promptly, at a wall-clock-
+// dependent generation, as §3.4's early abort intends. See the
+// internal/island package documentation for the full contract.
+func EvolveIsland(ctx context.Context, p *Problem, cfg Config, icfg IslandConfig, budget units.Seconds, r *rng.RNG) EvolveStats {
+	cfg.applyDefaults()
+	n := icfg.islands()
+	genes := ChromosomeLen(len(p.Batch), p.M)
+	perGen := float64(cfg.CostPerGene) * float64(genes) * float64(cfg.Population)
+
+	// §3.4 budget → deterministic generation cap: the largest gen with
+	// gen×perGen ≤ budget (matching Evolve's per-generation check).
+	maxGens := cfg.Generations
+	budgetLimited := false
+	if !budget.IsInf() && perGen > 0 {
+		if cap := int(float64(budget) / perGen); cap < maxGens {
+			maxGens = cap
+			budgetLimited = true
+		}
+	}
+
+	// Per-island state, indexed by island: rebalancers carry scratch
+	// buffers and evaluation counters; bestMk tracks each island's
+	// §3.4 lowest-makespan-so-far. Islands only ever touch their own
+	// slot, so the slices need no locking.
+	rebalancers := make([]*Rebalancer, n)
+	bestMk := make([]units.Seconds, n)
+
+	setup := func(i int, ri *rng.RNG) island.Setup {
+		bestMk[i] = units.Inf()
+		mkScratch := make([]units.Seconds, p.M)
+		gaCfg := ga.Config{
+			PopulationSize:         cfg.Population,
+			MaxGenerations:         maxGens,
+			CrossoverFraction:      cfg.CrossoverFraction,
+			Crossover:              cfg.Crossover,
+			MutationsPerGeneration: cfg.MutationsPerGeneration,
+			Elitism:                true,
+			OnGeneration: func(_ int, best ga.Chromosome, _ float64) {
+				if mk := p.MakespanInto(best, mkScratch); mk < bestMk[i] {
+					bestMk[i] = mk
+				}
+			},
+		}
+		if maxGens < 1 {
+			// The budget is gone before the first generation: stop every
+			// island at its first poll (ga treats MaxGenerations 0 as
+			// "use the default", so the cap cannot express this).
+			gaCfg.MaxGenerations = 1
+			gaCfg.Stop = func(int, float64) bool { return true }
+		} else if cfg.TargetMakespan > 0 {
+			gaCfg.Stop = func(int, float64) bool {
+				return bestMk[i] <= cfg.TargetMakespan
+			}
+		}
+		if cfg.Rebalances > 0 {
+			rb := NewRebalancer(p)
+			rebalancers[i] = rb
+			gaCfg.PostGeneration = func(pop []ga.Chromosome, rr *rng.RNG) {
+				for _, ind := range pop {
+					rb.Apply(ind, cfg.Rebalances, rr)
+				}
+			}
+		}
+		return island.Setup{
+			GA:      gaCfg,
+			Eval:    p.Evaluator(),
+			Initial: ListPopulation(p, cfg.Population, ri),
+		}
+	}
+
+	islCfg := island.Config{
+		Islands:           n,
+		MigrationInterval: icfg.MigrationInterval,
+		Migrants:          icfg.Migrants,
+	}
+	if cfg.OnBestMakespan != nil {
+		islCfg.OnRound = func(_, gens int, _ ga.Chromosome, _ float64) {
+			mk := units.Inf()
+			for _, m := range bestMk {
+				if m < mk {
+					mk = m
+				}
+			}
+			cfg.OnBestMakespan(gens, mk)
+		}
+	}
+	res := island.Run(ctx, islCfg, setup, r)
+
+	bestMakespan := units.Inf()
+	for _, m := range bestMk {
+		if m < bestMakespan {
+			bestMakespan = m
+		}
+	}
+	evals, maxEvals := 0, 0
+	for i, ir := range res.Islands {
+		e := ir.Evaluations
+		if rebalancers[i] != nil {
+			e += rebalancers[i].Evals
+		}
+		evals += e
+		if e > maxEvals {
+			maxEvals = e
+		}
+	}
+	reason := res.Reason
+	if budgetLimited && reason == ga.StopMaxGenerations {
+		// The cap the islands hit was the budget, not the configured
+		// generation limit: report it as the §3.4 idle-processor stop,
+		// as the sequential engine does.
+		reason = ga.StopCallback
+	}
+	return EvolveStats{
+		Result: ga.Result{
+			Best:        res.Best,
+			BestFitness: res.BestFitness,
+			Generations: res.Generations,
+			Reason:      reason,
+			Evaluations: res.Evaluations,
+		},
+		BestMakespan: bestMakespan,
+		Evals:        evals,
+		ModelledCost: units.Seconds(float64(cfg.CostPerGene) * float64(genes) * float64(maxEvals)),
+	}
+}
+
+// PNIsland is the island-model variant of the PN scheduler: a drop-in
+// sched.Batch / sched.BatchSizer with the same system beliefs, §3.7
+// batch sizing and §3.4 stopping conditions, but each batch decision
+// evolves IslandConfig.Islands populations concurrently with ring
+// migration — roughly N× the genetic search of PN per wall-clock
+// second of scheduling time on an N-core scheduling processor.
+//
+// Like PN it is stateful (the Γs smoother persists across invocations)
+// and not safe for concurrent use; create one PNIsland per simulation
+// or server.
+type PNIsland struct {
+	cfg  Config
+	icfg IslandConfig
+	r    *rng.RNG
+	sp   *smoothing.Smoother
+}
+
+// NewPNIsland returns an island-model PN scheduler; zero cfg fields
+// take the paper's defaults (as NewPN) and zero icfg fields the island
+// defaults (NumCPU islands, interval 25, 2 migrants).
+func NewPNIsland(cfg Config, icfg IslandConfig, r *rng.RNG) *PNIsland {
+	cfg.applyDefaults()
+	return &PNIsland{cfg: cfg, icfg: icfg, r: r, sp: smoothing.New(cfg.Nu)}
+}
+
+// Name implements sched.Scheduler.
+func (pn *PNIsland) Name() string { return "PNI" }
+
+// Config returns the effective GA configuration (defaults applied).
+func (pn *PNIsland) Config() Config { return pn.cfg }
+
+// IslandConfig returns the island-model parameters as configured.
+func (pn *PNIsland) IslandConfig() IslandConfig { return pn.icfg }
+
+// NextBatchSize implements sched.BatchSizer with the same §3.7 rule as
+// PN.
+func (pn *PNIsland) NextBatchSize(queued int, s sched.State) int {
+	return nextBatchSize(pn.cfg, pn.sp, queued, s)
+}
+
+// ScheduleBatch implements sched.Batch: snapshot the system, evolve
+// one population per island under the §3.4 stopping conditions, and
+// return the best schedule plus the modelled (parallel) scheduler
+// compute time.
+func (pn *PNIsland) ScheduleBatch(batch []task.Task, s sched.State) (sched.Assignment, units.Seconds) {
+	p := NewProblem(batch, s, true)
+	st := EvolveIsland(context.Background(), p, pn.cfg, pn.icfg, s.TimeUntilFirstIdle(), pn.r)
+	return p.Assignment(st.Result.Best), st.ModelledCost
+}

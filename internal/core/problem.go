@@ -187,7 +187,14 @@ func (p *Problem) CompletionTimes(c ga.Chromosome, out []units.Seconds) []units.
 // Makespan returns max_j Cⱼ — the predicted total execution time of the
 // schedule encoded by c.
 func (p *Problem) Makespan(c ga.Chromosome) units.Seconds {
-	times := p.CompletionTimes(c, nil)
+	return p.MakespanInto(c, nil)
+}
+
+// MakespanInto is Makespan with a caller-owned scratch buffer
+// (allocated when nil), so per-generation observers stay
+// allocation-free.
+func (p *Problem) MakespanInto(c ga.Chromosome, scratch []units.Seconds) units.Seconds {
+	times := p.CompletionTimes(c, scratch)
 	best := times[0]
 	for _, t := range times[1:] {
 		if t > best {

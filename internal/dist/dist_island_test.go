@@ -1,0 +1,87 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pnsched/internal/core"
+	"pnsched/internal/dist"
+	"pnsched/internal/rng"
+	"pnsched/internal/units"
+	"pnsched/internal/workload"
+)
+
+// TestEndToEndIslandScheduler drives the live TCP runtime with the
+// island-model PN scheduler instead of the sequential one: the server
+// must behave as a drop-in — every task completes exactly once across
+// heterogeneous workers, with the faster worker doing more of them.
+func TestEndToEndIslandScheduler(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Generations = 40
+	cfg.InitialBatch = 40
+	srv, err := dist.NewServer(dist.ServerConfig{
+		Scheduler: core.NewPNIsland(cfg,
+			core.IslandConfig{Islands: 2, MigrationInterval: 5, Migrants: 1}, rng.New(21)),
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, w := range []struct {
+		name string
+		rate units.Rate
+	}{{"slow", 50}, {"fast", 200}} {
+		wg.Add(1)
+		go func(name string, rate units.Rate) {
+			defer wg.Done()
+			err := dist.RunWorker(ctx, addr, dist.WorkerConfig{
+				Name:      name,
+				Rate:      rate,
+				TimeScale: 2e-4,
+			})
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}(w.name, w.rate)
+	}
+	waitForWorkers(t, srv, 2)
+
+	tasks := workload.Generate(workload.Spec{
+		N:     120,
+		Sizes: workload.Uniform{Lo: 10, Hi: 1000},
+	}, rng.New(22))
+	srv.Submit(tasks)
+	if err := srv.Wait(30 * time.Second); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	sub, comp, _, _ := srv.Stats()
+	if sub != len(tasks) || comp != len(tasks) {
+		t.Fatalf("Stats: submitted %d completed %d, want both %d", sub, comp, len(tasks))
+	}
+	byName := map[string]dist.WorkerStatus{}
+	for _, ws := range srv.Workers() {
+		byName[ws.Name] = ws
+	}
+	if fast, slow := byName["fast"], byName["slow"]; fast.Completed <= slow.Completed {
+		t.Errorf("fast worker completed %d tasks, slow %d; want fast > slow",
+			fast.Completed, slow.Completed)
+	}
+
+	cancel()
+	srv.Close()
+	wg.Wait()
+}

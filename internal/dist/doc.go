@@ -7,8 +7,10 @@
 // RunWorker, or the pnworker binary on another machine) connect, declare
 // a Linpack-style execution rating, and process the tasks they are
 // assigned strictly in order. The server drives any sched.Batch
-// scheduler — in production the PN genetic algorithm (internal/core) —
-// over dynamic batches drawn from the FCFS queue of unscheduled tasks,
+// scheduler — in production the PN genetic algorithm (internal/core),
+// or its parallel island-model variant (core.PNIsland, opted into with
+// pnserver's -islands flag) when the scheduling processor has cores to
+// spare — over dynamic batches drawn from the FCFS queue of unscheduled tasks,
 // exactly as the simulator does, but against the live machine set:
 //
 //   - Workers may join and leave at any time. Each batch is scheduled

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"pnsched/internal/metrics"
 )
@@ -17,7 +18,28 @@ type Figure interface {
 var Figures = []int{3, 4, 5, 6, 7, 8, 9, 10, 11}
 
 // Supplementary lists the extra experiments beyond the paper's figures.
-var Supplementary = []string{"extended", "scalability", "dynamic"}
+var Supplementary = []string{"extended", "scalability", "dynamic", "island"}
+
+// Known reports whether name is a regenerable experiment — a paper
+// figure number or a supplementary experiment name — so front ends can
+// validate a whole request before starting any long run.
+func Known(name string) bool {
+	for _, s := range Supplementary {
+		if name == s {
+			return true
+		}
+	}
+	fig, err := strconv.Atoi(name)
+	if err != nil {
+		return false
+	}
+	for _, f := range Figures {
+		if fig == f {
+			return true
+		}
+	}
+	return false
+}
 
 // RunNamed regenerates a paper figure ("3".."11") or a supplementary
 // experiment by name.
@@ -29,9 +51,11 @@ func RunNamed(name string, p Profile) (Figure, error) {
 		return Scalability(p), nil
 	case "dynamic":
 		return Dynamic(p), nil
+	case "island":
+		return Island(p), nil
 	}
-	var fig int
-	if _, err := fmt.Sscanf(name, "%d", &fig); err != nil {
+	fig, err := strconv.Atoi(name)
+	if err != nil {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (figures %v or %v)", name, Figures, Supplementary)
 	}
 	return Run(fig, p)
@@ -76,6 +100,13 @@ func RenderNamed(name string, p Profile, w io.Writer, csv io.Writer) error {
 	if err != nil {
 		return err
 	}
+	RenderFigure(fig, w, csv)
+	return nil
+}
+
+// RenderFigure writes an already-computed figure's table and plot to
+// w, and its CSV to csv when non-nil.
+func RenderFigure(fig Figure, w io.Writer, csv io.Writer) {
 	tbl := fig.Table()
 	tbl.Render(w)
 	fmt.Fprintln(w)
@@ -83,5 +114,4 @@ func RenderNamed(name string, p Profile, w io.Writer, csv io.Writer) error {
 	if csv != nil {
 		tbl.CSV(csv)
 	}
-	return nil
 }

@@ -2,6 +2,7 @@ package ga
 
 import (
 	"fmt"
+	"sort"
 
 	"pnsched/internal/rng"
 )
@@ -110,6 +111,264 @@ type Result struct {
 	Evaluations int // total fitness evaluations performed
 }
 
+// Engine exposes the generation loop of Run one step at a time, so
+// callers can interleave evolution with outside work — the island-model
+// runner (internal/island) advances several engines in parallel and
+// exchanges elites between steps. An Engine is single-goroutine; wrap
+// coordination around it, not inside it.
+//
+// The zero value is unusable; construct with NewEngine. Run is the
+// convenience wrapper that drives an Engine to completion, and
+// NewEngine + Step reproduces Run exactly (same random sequence, same
+// results).
+type Engine struct {
+	cfg     Config
+	eval    Evaluator
+	r       *rng.RNG
+	pop     []Chromosome
+	next    []Chromosome
+	fitness []float64
+
+	best        Chromosome
+	bestFitness float64
+	gen         int // completed generations
+	evals       int
+
+	done        bool
+	reason      StopReason
+	generations int // Result.Generations once done
+}
+
+// NewEngine initialises a GA over the initial population: the
+// population is cloned (callers keep their seeds), padded or trimmed to
+// the configured size, and evaluated once (generation 0). NewEngine
+// panics if the initial population is empty — the caller owns
+// population construction (the paper seeds it with a list-scheduling
+// heuristic), so an empty one is a programming error.
+func NewEngine(cfg Config, eval Evaluator, initial []Chromosome, r *rng.RNG) *Engine {
+	cfg.applyDefaults()
+	if len(initial) == 0 {
+		panic("ga: empty initial population")
+	}
+	e := &Engine{cfg: cfg, eval: eval, r: r}
+
+	// Working population: clone so callers keep their seeds.
+	pop := make([]Chromosome, len(initial))
+	for i, c := range initial {
+		pop[i] = c.Clone()
+	}
+	// Pad or trim to the configured size by cycling clones of the seeds.
+	for len(pop) < cfg.PopulationSize {
+		pop = append(pop, pop[len(pop)%len(initial)].Clone())
+	}
+	if len(pop) > cfg.PopulationSize {
+		pop = pop[:cfg.PopulationSize]
+	}
+	e.pop = pop
+	e.fitness = make([]float64, len(pop))
+	e.next = make([]Chromosome, 0, len(pop))
+
+	bestIdx := e.evaluate()
+	e.best = pop[bestIdx].Clone()
+	e.bestFitness = e.fitness[bestIdx]
+	if cfg.OnGeneration != nil {
+		cfg.OnGeneration(0, e.best, e.bestFitness)
+	}
+	if cfg.TargetFitness > 0 && e.bestFitness >= cfg.TargetFitness {
+		e.stop(0, StopTarget)
+	}
+	return e
+}
+
+// evaluate scores the whole population and returns the index of the
+// fittest individual.
+func (e *Engine) evaluate() (bestIdx int) {
+	for i, c := range e.pop {
+		e.fitness[i] = e.eval.Fitness(c)
+		e.evals++
+		if e.fitness[i] > e.fitness[bestIdx] {
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}
+
+func (e *Engine) stop(generations int, reason StopReason) {
+	e.done = true
+	e.generations = generations
+	e.reason = reason
+}
+
+// Step advances evolution by one generation: crossover, selection,
+// mutation, the PostGeneration hook, elitism and re-evaluation. It
+// returns false once a stopping condition holds (the generation cap,
+// the target fitness, or the Stop callback), after which further calls
+// are no-ops.
+func (e *Engine) Step() bool {
+	if e.done {
+		return false
+	}
+	gen := e.gen + 1
+	if gen > e.cfg.MaxGenerations {
+		e.stop(e.cfg.MaxGenerations, StopMaxGenerations)
+		return false
+	}
+	if e.cfg.Stop != nil && e.cfg.Stop(gen, e.bestFitness) {
+		e.stop(gen-1, StopCallback)
+		return false
+	}
+
+	n := len(e.pop)
+
+	// Crossover: pair roulette-selected parents.
+	next := e.next[:0]
+	pairs := int(float64(n) * e.cfg.CrossoverFraction / 2)
+	if pairs > 0 {
+		cross := e.cfg.Crossover
+		if cross == nil {
+			cross = CX
+		}
+		parents := RouletteWheel(e.fitness, 2*pairs, e.r)
+		for k := 0; k < pairs; k++ {
+			a, b := e.pop[parents[2*k]], e.pop[parents[2*k+1]]
+			c1, c2 := cross(a, b, e.r)
+			next = append(next, c1, c2)
+		}
+	}
+	// Fill the remainder by roulette-cloning survivors (selection).
+	if missing := n - len(next); missing > 0 {
+		for _, idx := range RouletteWheel(e.fitness, missing, e.r) {
+			next = append(next, e.pop[idx].Clone())
+		}
+	}
+	next = next[:n]
+
+	// Random mutation on randomly chosen individuals.
+	mutate := e.cfg.Mutate
+	if mutate == nil {
+		mutate = SwapMutation
+	}
+	for k := 0; k < e.cfg.MutationsPerGeneration; k++ {
+		mutate(next[e.r.Intn(n)], e.r)
+	}
+
+	e.pop, e.next = next, e.pop
+
+	if e.cfg.PostGeneration != nil {
+		e.cfg.PostGeneration(e.pop, e.r)
+	}
+
+	// Elitism: reinsert the best-so-far over a random slot.
+	if e.cfg.Elitism {
+		e.pop[e.r.Intn(n)] = e.best.Clone()
+	}
+
+	genBest := e.evaluate()
+	if e.fitness[genBest] > e.bestFitness {
+		e.bestFitness = e.fitness[genBest]
+		e.best = e.pop[genBest].Clone()
+	}
+	e.gen = gen
+	if e.cfg.OnGeneration != nil {
+		e.cfg.OnGeneration(gen, e.best, e.bestFitness)
+	}
+	if e.cfg.TargetFitness > 0 && e.bestFitness >= e.cfg.TargetFitness {
+		e.stop(gen, StopTarget)
+		return false
+	}
+	return true
+}
+
+// Done reports whether a stopping condition has been reached.
+func (e *Engine) Done() bool { return e.done }
+
+// Generation returns the number of completed generations.
+func (e *Engine) Generation() int { return e.gen }
+
+// Evaluations returns the total fitness evaluations performed so far.
+func (e *Engine) Evaluations() int { return e.evals }
+
+// Best returns a clone of the best individual found so far and its
+// fitness.
+func (e *Engine) Best() (Chromosome, float64) {
+	return e.best.Clone(), e.bestFitness
+}
+
+// Result summarises the run so far; after Step has returned false it is
+// identical to what Run would have returned.
+func (e *Engine) Result() Result {
+	generations := e.generations
+	if !e.done {
+		generations = e.gen
+	}
+	return Result{
+		Best:        e.best.Clone(),
+		BestFitness: e.bestFitness,
+		Generations: generations,
+		Reason:      e.reason,
+		Evaluations: e.evals,
+	}
+}
+
+// Elites returns clones of the k fittest individuals of the current
+// population, fittest first (ties resolve to the lower population
+// index, keeping island migration deterministic). k is clamped to the
+// population size.
+func (e *Engine) Elites(k int) []Chromosome {
+	n := len(e.pop)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return e.fitness[idx[a]] > e.fitness[idx[b]]
+	})
+	out := make([]Chromosome, k)
+	for i := 0; i < k; i++ {
+		out[i] = e.pop[idx[i]].Clone()
+	}
+	return out
+}
+
+// Inject replaces the len(migrants) least-fit individuals of the
+// current population with clones of the migrants, re-evaluating them
+// against this engine's evaluator (ties resolve to the lower population
+// index). The best-so-far is updated if a migrant beats it. Inject is
+// how island migration enters a population; it is deterministic and a
+// no-op on a stopped engine.
+func (e *Engine) Inject(migrants []Chromosome) {
+	if e.done || len(migrants) == 0 {
+		return
+	}
+	n := len(e.pop)
+	if len(migrants) > n {
+		migrants = migrants[:n]
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return e.fitness[idx[a]] < e.fitness[idx[b]]
+	})
+	for i, m := range migrants {
+		slot := idx[i]
+		e.pop[slot] = m.Clone()
+		e.fitness[slot] = e.eval.Fitness(m)
+		e.evals++
+		if e.fitness[slot] > e.bestFitness {
+			e.bestFitness = e.fitness[slot]
+			e.best = e.pop[slot].Clone()
+		}
+	}
+}
+
 // Run evolves the initial population against the evaluator and returns
 // the best individual found. The initial population is not modified.
 // Run panics if the initial population is empty — the caller owns
@@ -118,120 +377,13 @@ type Result struct {
 //
 // Elitism note: defaults preserve the best individual, so best fitness
 // is non-decreasing across generations.
+//
+// Run is NewEngine followed by Step to completion; use the Engine
+// directly to interleave evolution with migration or other outside
+// work.
 func Run(cfg Config, eval Evaluator, initial []Chromosome, r *rng.RNG) Result {
-	cfg.applyDefaults()
-	if len(initial) == 0 {
-		panic("ga: empty initial population")
+	e := NewEngine(cfg, eval, initial, r)
+	for e.Step() {
 	}
-
-	// Working population: clone so callers keep their seeds.
-	pop := make([]Chromosome, len(initial))
-	for i, c := range initial {
-		pop[i] = c.Clone()
-	}
-	// Pad or trim to the configured size by roulette-cloning.
-	for len(pop) < cfg.PopulationSize {
-		pop = append(pop, pop[len(pop)%len(initial)].Clone())
-	}
-	if len(pop) > cfg.PopulationSize {
-		pop = pop[:cfg.PopulationSize]
-	}
-	n := len(pop)
-
-	fitness := make([]float64, n)
-	evals := 0
-	evaluate := func() (bestIdx int) {
-		for i, c := range pop {
-			fitness[i] = eval.Fitness(c)
-			evals++
-			if fitness[i] > fitness[bestIdx] {
-				bestIdx = i
-			}
-		}
-		return bestIdx
-	}
-
-	bestIdx := evaluate()
-	best := pop[bestIdx].Clone()
-	bestFitness := fitness[bestIdx]
-	if cfg.OnGeneration != nil {
-		cfg.OnGeneration(0, best, bestFitness)
-	}
-
-	result := func(gen int, reason StopReason) Result {
-		return Result{
-			Best:        best,
-			BestFitness: bestFitness,
-			Generations: gen,
-			Reason:      reason,
-			Evaluations: evals,
-		}
-	}
-
-	if cfg.TargetFitness > 0 && bestFitness >= cfg.TargetFitness {
-		return result(0, StopTarget)
-	}
-
-	next := make([]Chromosome, 0, n)
-	for gen := 1; gen <= cfg.MaxGenerations; gen++ {
-		if cfg.Stop != nil && cfg.Stop(gen, bestFitness) {
-			return result(gen-1, StopCallback)
-		}
-
-		// Crossover: pair roulette-selected parents.
-		next = next[:0]
-		pairs := int(float64(n) * cfg.CrossoverFraction / 2)
-		if pairs > 0 {
-			cross := cfg.Crossover
-			if cross == nil {
-				cross = CX
-			}
-			parents := RouletteWheel(fitness, 2*pairs, r)
-			for k := 0; k < pairs; k++ {
-				a, b := pop[parents[2*k]], pop[parents[2*k+1]]
-				c1, c2 := cross(a, b, r)
-				next = append(next, c1, c2)
-			}
-		}
-		// Fill the remainder by roulette-cloning survivors (selection).
-		if missing := n - len(next); missing > 0 {
-			for _, idx := range RouletteWheel(fitness, missing, r) {
-				next = append(next, pop[idx].Clone())
-			}
-		}
-		next = next[:n]
-
-		// Random mutation on randomly chosen individuals.
-		mutate := cfg.Mutate
-		if mutate == nil {
-			mutate = SwapMutation
-		}
-		for k := 0; k < cfg.MutationsPerGeneration; k++ {
-			mutate(next[r.Intn(n)], r)
-		}
-
-		pop, next = next, pop
-
-		if cfg.PostGeneration != nil {
-			cfg.PostGeneration(pop, r)
-		}
-
-		// Elitism: reinsert the best-so-far over a random slot.
-		if cfg.Elitism {
-			pop[r.Intn(n)] = best.Clone()
-		}
-
-		genBest := evaluate()
-		if fitness[genBest] > bestFitness {
-			bestFitness = fitness[genBest]
-			best = pop[genBest].Clone()
-		}
-		if cfg.OnGeneration != nil {
-			cfg.OnGeneration(gen, best, bestFitness)
-		}
-		if cfg.TargetFitness > 0 && bestFitness >= cfg.TargetFitness {
-			return result(gen, StopTarget)
-		}
-	}
-	return result(cfg.MaxGenerations, StopMaxGenerations)
+	return e.Result()
 }

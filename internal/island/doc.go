@@ -1,0 +1,50 @@
+// Package island runs the paper's §3 micro-GA as a coarse-grained
+// parallel island model: N independent populations ("islands") evolve
+// concurrently, one goroutine and one derived random stream each, and
+// every M generations the k fittest individuals of each island migrate
+// to its neighbour around a ring. Migration is the only coupling, so
+// the islands scale with the hardware while the exchanged elites keep
+// the searches from diverging into N isolated runs — the standard way
+// to buy more genetic search per wall-clock second for exactly this
+// class of scheduler (cf. Pop & Cristea's parallel evolutionary DAG
+// scheduling, PAPERS.md).
+//
+// # Architecture
+//
+// Run is bulk-synchronous. Each round, every live island advances up to
+// Config.MigrationInterval generations of the sequential engine
+// (ga.Engine — the same crossover/selection/mutation/rebalance loop the
+// single-population scheduler uses; the island layer adds no new
+// genetic operators). At the round barrier the coordinator updates the
+// shared best-so-far tracker, evaluates the stop conditions, and
+// performs ring migration: island i clones its Config.Migrants fittest
+// individuals (ga.Engine.Elites) into island i+1 mod N, where they
+// replace the least-fit individuals (ga.Engine.Inject). All
+// cross-island decisions happen at barriers in island order, never
+// mid-round.
+//
+// # Stop conditions
+//
+// The three §3.4 stopping conditions of the sequential engine are
+// honoured per island — the generation cap, the target fitness, and the
+// Stop callback (the processor-went-idle condition). When any island's
+// Stop callback fires, or the caller's context is cancelled, every
+// other island is cancelled promptly through a shared context polled
+// once per generation; when any island reaches the target fitness the
+// run winds down at the next barrier. The overall Reason is the most
+// decisive one observed: target, then callback, then the cap.
+//
+// # Determinism
+//
+// Island i draws every random decision from r.Stream(i+1), and rounds
+// are barrier-synchronised, so a run that terminates by generation cap
+// or target fitness is fully deterministic for a fixed island count:
+// same seed + same Islands → byte-identical best individual, whatever
+// the goroutine scheduling. Determinism is per-N — changing the island
+// count changes the stream assignment and the ring, and therefore the
+// result, just as changing the population size changes the sequential
+// engine's. A run aborted by the Stop callback or context cancellation
+// stops at a wall-clock-dependent generation (that is the point of the
+// idle-processor abort), so only the fitness trajectory up to the abort
+// is reproducible, not the stopping point.
+package island

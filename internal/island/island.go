@@ -1,0 +1,306 @@
+package island
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"pnsched/internal/ga"
+	"pnsched/internal/rng"
+)
+
+// Defaults applied by Run for zero Config fields.
+const (
+	// DefaultMigrationInterval is how many generations each island
+	// evolves between migrations. 25 gives the paper's 1000-generation
+	// run 40 exchanges — frequent enough to share discoveries, rare
+	// enough that islands explore independently in between.
+	DefaultMigrationInterval = 25
+	// DefaultMigrants is how many elites each island sends to its ring
+	// neighbour per migration — 2 of the micro-GA's 20 individuals.
+	DefaultMigrants = 2
+)
+
+// Config parametrises an island-model run. Per-island engine settings
+// (population size, generation cap, operators, stop conditions) come
+// from the Setup each island receives, not from Config.
+type Config struct {
+	// Islands is the number of concurrent populations; default
+	// runtime.NumCPU(). 1 degenerates to the sequential engine (no
+	// migration).
+	Islands int
+	// MigrationInterval is the round length in generations; values
+	// below 1 select DefaultMigrationInterval.
+	MigrationInterval int
+	// Migrants is how many elites each island sends per migration;
+	// default DefaultMigrants. It is clamped to the population size,
+	// and 0 (after defaulting: a negative value) disables migration.
+	Migrants int
+	// Tracker, when non-nil, receives the best-so-far at every round
+	// barrier so other goroutines can watch a run's progress. Run uses
+	// an internal tracker when nil.
+	Tracker *Tracker
+	// OnRound, when non-nil, observes every round barrier from the
+	// coordinator goroutine: the 1-based round number, the number of
+	// generations the most advanced island has completed, and the
+	// best-so-far across all islands.
+	OnRound func(round, generations int, best ga.Chromosome, bestFitness float64)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Islands < 1 {
+		c.Islands = runtime.NumCPU()
+	}
+	// Below 1 the round loop would never advance any engine; treat all
+	// such values as "use the default".
+	if c.MigrationInterval < 1 {
+		c.MigrationInterval = DefaultMigrationInterval
+	}
+	if c.Migrants == 0 {
+		c.Migrants = DefaultMigrants
+	}
+	if c.Migrants < 0 {
+		c.Migrants = 0
+	}
+}
+
+// Setup is one island's engine inputs, built by the setup callback
+// passed to Run. Each island needs its own Evaluator (evaluators carry
+// scratch buffers and are not goroutine-safe) and its own initial
+// population.
+type Setup struct {
+	// GA configures the island's sequential engine. Stop, OnGeneration
+	// and PostGeneration closures are called from the island's own
+	// goroutine; they must not share mutable state with other islands.
+	GA ga.Config
+	// Eval scores this island's chromosomes.
+	Eval ga.Evaluator
+	// Initial seeds this island's population.
+	Initial []ga.Chromosome
+}
+
+// Result reports a finished island run.
+type Result struct {
+	// Best is the fittest individual found by any island; BestIsland
+	// says which one found it (ties resolve to the lowest index).
+	Best        ga.Chromosome
+	BestFitness float64
+	BestIsland  int
+	// Generations is the largest per-island generation count.
+	Generations int
+	// Rounds is the number of migration rounds completed.
+	Rounds int
+	// Migrated counts individuals exchanged over the ring.
+	Migrated int
+	// Evaluations sums fitness evaluations across all islands.
+	Evaluations int
+	// Reason is the most decisive per-island stop reason: target, then
+	// callback, then the generation cap.
+	Reason ga.StopReason
+	// Islands holds each island's own ga.Result.
+	Islands []ga.Result
+}
+
+// Tracker is a concurrency-safe best-so-far record. The coordinator
+// publishes into it at every round barrier; any goroutine may poll
+// Best while a run is in flight.
+type Tracker struct {
+	mu      sync.Mutex
+	best    ga.Chromosome
+	fitness float64
+	ok      bool
+}
+
+// Observe records the individual if it is strictly fitter than the
+// current best, and reports whether it was recorded. The chromosome is
+// cloned.
+func (t *Tracker) Observe(c ga.Chromosome, fitness float64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ok && fitness <= t.fitness {
+		return false
+	}
+	t.best = c.Clone()
+	t.fitness = fitness
+	t.ok = true
+	return true
+}
+
+// Best returns a clone of the best individual observed so far; ok is
+// false before the first observation.
+func (t *Tracker) Best() (c ga.Chromosome, fitness float64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.ok {
+		return nil, 0, false
+	}
+	return t.best.Clone(), t.fitness, true
+}
+
+// Run evolves cfg.Islands populations concurrently with periodic ring
+// migration and returns the best individual found by any of them.
+// setup is called once per island, before any evolution, with the
+// island index and the island's private random stream (derived from r;
+// r itself is not advanced) — it must return the island's engine
+// configuration, evaluator and initial population. Cancelling ctx
+// aborts all islands promptly (each polls between generations), as
+// does any island's GA.Stop callback firing; see the package
+// documentation for the determinism contract.
+func Run(ctx context.Context, cfg Config, setup func(island int, r *rng.RNG) Setup, r *rng.RNG) Result {
+	cfg.applyDefaults()
+	n := cfg.Islands
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	tracker := cfg.Tracker
+	if tracker == nil {
+		tracker = &Tracker{}
+	}
+
+	engines := make([]*ga.Engine, n)
+	for i := 0; i < n; i++ {
+		ri := r.Stream(uint64(i) + 1)
+		s := setup(i, ri)
+		gaCfg := s.GA
+		userStop := gaCfg.Stop
+		// Wrap the island's stop condition: a cancelled context stops
+		// this island, and this island's own stop cancels the rest.
+		gaCfg.Stop = func(gen int, bestFitness float64) bool {
+			if ctx.Err() != nil {
+				return true
+			}
+			if userStop != nil && userStop(gen, bestFitness) {
+				cancel()
+				return true
+			}
+			return false
+		}
+		engines[i] = ga.NewEngine(gaCfg, s.Eval, s.Initial, ri)
+	}
+
+	res := Result{BestIsland: -1}
+	for {
+		live := 0
+		for _, e := range engines {
+			if !e.Done() {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+
+		// Advance every live island by one round, concurrently. Each
+		// engine stops itself mid-round when a stop condition (cap,
+		// target, callback, cancellation) fires.
+		var wg sync.WaitGroup
+		for _, e := range engines {
+			if e.Done() {
+				continue
+			}
+			wg.Add(1)
+			go func(e *ga.Engine) {
+				defer wg.Done()
+				for s := 0; s < cfg.MigrationInterval; s++ {
+					if !e.Step() {
+						return
+					}
+				}
+			}(e)
+		}
+		wg.Wait()
+		res.Rounds++
+
+		// Barrier: publish the best-so-far (island order, so ties are
+		// deterministic) and evaluate the global stop conditions.
+		best, bestFitness, _, maxGen := bestOf(engines)
+		tracker.Observe(best, bestFitness)
+		if cfg.OnRound != nil {
+			cfg.OnRound(res.Rounds, maxGen, best, bestFitness)
+		}
+		stop := ctx.Err() != nil
+		for _, e := range engines {
+			if !e.Done() {
+				continue
+			}
+			switch e.Result().Reason {
+			case ga.StopTarget:
+				// One island hit the target: the run is over — wind the
+				// others down rather than burning more search.
+				cancel()
+				stop = true
+			case ga.StopCallback:
+				stop = true
+			}
+		}
+		if stop {
+			// Let cancelled islands observe the context and finish, so
+			// every engine's Result is final, then stop rounds.
+			for _, e := range engines {
+				for e.Step() {
+				}
+			}
+			break
+		}
+
+		// Ring migration: island i's elites replace island (i+1)%N's
+		// weakest individuals. Elites are all collected before any
+		// injection, so the exchange uses pre-migration populations.
+		if n > 1 && cfg.Migrants > 0 {
+			elites := make([][]ga.Chromosome, n)
+			for i, e := range engines {
+				if !e.Done() {
+					elites[i] = e.Elites(cfg.Migrants)
+				}
+			}
+			for i, e := range engines {
+				src := (i - 1 + n) % n
+				if e.Done() || elites[src] == nil {
+					continue
+				}
+				e.Inject(elites[src])
+				res.Migrated += len(elites[src])
+			}
+		}
+	}
+
+	// Final, deterministic summary in island order.
+	best, bestFitness, bestIsland, maxGen := bestOf(engines)
+	tracker.Observe(best, bestFitness)
+	res.Best = best
+	res.BestFitness = bestFitness
+	res.BestIsland = bestIsland
+	res.Generations = maxGen
+	res.Reason = ga.StopMaxGenerations
+	res.Islands = make([]ga.Result, n)
+	for i, e := range engines {
+		ir := e.Result()
+		res.Islands[i] = ir
+		res.Evaluations += ir.Evaluations
+		// Escalate to the most decisive reason across islands.
+		if ir.Reason == ga.StopCallback && res.Reason == ga.StopMaxGenerations {
+			res.Reason = ga.StopCallback
+		}
+		if ir.Reason == ga.StopTarget {
+			res.Reason = ga.StopTarget
+		}
+	}
+	return res
+}
+
+// bestOf scans the engines in island order and returns a clone of the
+// strictly fittest best-so-far (ties to the lowest island index), plus
+// the largest per-island generation count.
+func bestOf(engines []*ga.Engine) (best ga.Chromosome, fitness float64, island, maxGen int) {
+	island = -1
+	for i, e := range engines {
+		c, f := e.Best()
+		if island < 0 || f > fitness {
+			best, fitness, island = c, f, i
+		}
+		if g := e.Generation(); g > maxGen {
+			maxGen = g
+		}
+	}
+	return best, fitness, island, maxGen
+}

@@ -101,16 +101,22 @@ type WorkloadSpec struct {
 
 // SchedulerSpec selects and configures a scheduler.
 type SchedulerSpec struct {
-	// Name: EF, LL, RR, MM, MX, MET, OLB, KPB, SUF, PN, ZO.
+	// Name: EF, LL, RR, MM, MX, MET, OLB, KPB, SUF, PN, ZO, pn-island.
 	Name string `json:"name"`
-	// GA settings (PN/ZO).
-	Generations  int     `json:"generations,omitempty"`
-	Population   int     `json:"population,omitempty"`
-	Rebalances   int     `json:"rebalances,omitempty"`
-	Batch        int     `json:"batch,omitempty"`
-	DynamicBatch bool    `json:"dynamic_batch,omitempty"`
-	K            int     `json:"k,omitempty"` // KPB
-	_            float64 // reserved
+	// GA settings (PN/ZO/pn-island).
+	Generations  int  `json:"generations,omitempty"`
+	Population   int  `json:"population,omitempty"`
+	Rebalances   int  `json:"rebalances,omitempty"`
+	Batch        int  `json:"batch,omitempty"`
+	DynamicBatch bool `json:"dynamic_batch,omitempty"`
+	K            int  `json:"k,omitempty"` // KPB
+	// Island-model settings (pn-island only). Islands is a pointer so
+	// an explicit invalid value ("islands": 0) is distinguishable from
+	// the field being omitted (nil → one island per CPU).
+	Islands           *int    `json:"islands,omitempty"`
+	MigrationInterval int     `json:"migration_interval,omitempty"`
+	Migrants          int     `json:"migrants,omitempty"`
+	_                 float64 // reserved
 }
 
 // Load parses a scenario file.
@@ -147,6 +153,34 @@ func (s *Spec) validate() error {
 	}
 	if s.Scheduler.Name == "" {
 		return fmt.Errorf("scenario: scheduler name required")
+	}
+	if err := s.Scheduler.validateIsland(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateIsland checks the pn-island fields (and rejects them on any
+// other scheduler, where they would silently do nothing).
+func (s *SchedulerSpec) validateIsland() error {
+	if s.Name != "pn-island" {
+		if s.Islands != nil || s.MigrationInterval != 0 || s.Migrants != 0 {
+			return fmt.Errorf("scenario: islands/migration_interval/migrants only apply to scheduler %q, not %q", "pn-island", s.Name)
+		}
+		return nil
+	}
+	if s.Islands != nil && *s.Islands < 1 {
+		return fmt.Errorf("scenario: pn-island needs islands >= 1 (got %d); omit the field for one island per CPU", *s.Islands)
+	}
+	if s.MigrationInterval < 0 {
+		return fmt.Errorf("scenario: pn-island migration_interval %d must be >= 0", s.MigrationInterval)
+	}
+	population := s.Population
+	if population <= 0 {
+		population = core.DefaultPopulation
+	}
+	if s.Migrants >= population {
+		return fmt.Errorf("scenario: pn-island migrants %d must be smaller than the population %d", s.Migrants, population)
 	}
 	return nil
 }
@@ -312,6 +346,15 @@ func (s *Spec) buildScheduler(r *rng.RNG) (sched.Scheduler, sched.BatchSizer, er
 		return fixed(sched.Sufferage{})
 	case "PN":
 		return core.NewPN(gaCfg, r), nil, nil
+	case "pn-island":
+		icfg := core.IslandConfig{
+			MigrationInterval: s.Scheduler.MigrationInterval,
+			Migrants:          s.Scheduler.Migrants,
+		}
+		if s.Scheduler.Islands != nil {
+			icfg.Islands = *s.Scheduler.Islands
+		}
+		return core.NewPNIsland(gaCfg, icfg, r), nil, nil
 	case "ZO":
 		return core.NewZO(gaCfg, r), nil, nil
 	default:

@@ -2,10 +2,14 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 
+	"pnsched/internal/core"
 	"pnsched/internal/rng"
 	"pnsched/internal/sim"
 	"pnsched/internal/workload"
@@ -183,5 +187,102 @@ func TestBuildRejectsUnknowns(t *testing.T) {
 	spec.Cluster.Count = 0
 	if _, err := spec.Build(nil); err == nil {
 		t.Error("unknown availability model accepted")
+	}
+}
+
+// islandScenario is a complete pn-island scenario with every island
+// field set.
+const islandScenario = `{
+  "seed": 7,
+  "cluster": {"count": 4, "rate_lo": 20, "rate_hi": 200},
+  "network": {"mean_cost_s": 1, "link_spread": 0.3, "jitter": 0.2},
+  "workload": {"n": 100, "dist": "uniform", "lo": 10, "hi": 1000},
+  "scheduler": {"name": "pn-island", "generations": 40, "population": 10,
+                "islands": 2, "migration_interval": 5, "migrants": 1}
+}`
+
+// TestPNIslandSpecRoundTrip: the island fields survive
+// parse → marshal → parse unchanged, and the spec builds and runs.
+func TestPNIslandSpecRoundTrip(t *testing.T) {
+	spec, err := Load(strings.NewReader(islandScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := spec.Scheduler
+	if sch.Islands == nil || *sch.Islands != 2 || sch.MigrationInterval != 5 || sch.Migrants != 1 {
+		t.Fatalf("island fields not parsed: %+v", sch)
+	}
+	out, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Load(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-parse of marshalled spec failed: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(spec, again) {
+		t.Errorf("spec did not round-trip:\n%+v\n%+v", spec, again)
+	}
+
+	cfg, err := spec.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheduler.Name() != "PNI" {
+		t.Errorf("built scheduler %q, want PNI", cfg.Scheduler.Name())
+	}
+	res := sim.Run(cfg)
+	if res.Completed != 100 {
+		t.Errorf("pn-island completed %d of 100", res.Completed)
+	}
+}
+
+// TestPNIslandSpecDefaults: omitting the island fields is valid and
+// defaults to one island per CPU.
+func TestPNIslandSpecDefaults(t *testing.T) {
+	in := strings.Replace(validScenario, `"name": "PN"`, `"name": "pn-island"`, 1)
+	spec, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pni, ok := cfg.Scheduler.(*core.PNIsland)
+	if !ok {
+		t.Fatalf("built %T, want *core.PNIsland", cfg.Scheduler)
+	}
+	if got := pni.IslandConfig().Islands; got != 0 {
+		t.Errorf("islands = %d, want 0 (defaulted to NumCPU at run time)", got)
+	}
+}
+
+// TestPNIslandSpecRejectsBadValues: islands < 1 and migrants >=
+// population produce clear errors at load time, and island fields on a
+// non-island scheduler are refused.
+func TestPNIslandSpecRejectsBadValues(t *testing.T) {
+	base := `{"seed":1,"cluster":{"count":2,"rate_lo":10,"rate_hi":20},"network":{"mean_cost_s":0},"workload":{"n":10,"dist":"constant","mean":100},"scheduler":%s}`
+	cases := map[string]struct {
+		scheduler string
+		want      string
+	}{
+		"zero islands":                    {`{"name":"pn-island","islands":0}`, "islands >= 1"},
+		"negative islands":                {`{"name":"pn-island","islands":-3}`, "islands >= 1"},
+		"migrants >= default population":  {`{"name":"pn-island","migrants":20}`, "smaller than the population"},
+		"migrants >= explicit population": {`{"name":"pn-island","population":10,"migrants":10}`, "smaller than the population"},
+		"negative interval":               {`{"name":"pn-island","migration_interval":-1}`, "migration_interval"},
+		"island fields on PN":             {`{"name":"PN","islands":4}`, "only apply"},
+		"migrants on EF":                  {`{"name":"EF","migrants":2}`, "only apply"},
+	}
+	for name, tc := range cases {
+		_, err := Load(strings.NewReader(fmt.Sprintf(base, tc.scheduler)))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
 	}
 }
