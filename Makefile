@@ -20,11 +20,16 @@ lint:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# One pass of the island-vs-sequential benchmarks plus the pnbench
-# island study; BENCH_island.json is the machine-readable record CI
-# uploads as an artifact.
+# One pass of the island-vs-sequential and naive-vs-incremental
+# benchmarks plus the pnbench island and evolve studies;
+# BENCH_island.json and BENCH_evolve.json are the machine-readable
+# records CI uploads as artifacts (BENCH_evolve.json evidences the
+# incremental engine's per-generation evaluation saving at paper
+# scale).
 bench-smoke:
 	$(GO) test ./internal/core -run=NONE -bench=BenchmarkIslandEvolve -benchtime=1x
+	$(GO) test ./internal/core -run=NONE -bench='BenchmarkEvolve(Naive|Incremental)' -benchtime=1x
 	$(GO) run ./cmd/pnbench -figure island -profile fast -json BENCH_island.json
+	$(GO) run ./cmd/pnbench -figure evolve -profile fast -json BENCH_evolve.json
 
 ci: build lint test bench bench-smoke

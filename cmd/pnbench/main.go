@@ -15,7 +15,8 @@
 // -json writes every rendered table as machine-readable records (name,
 // profile, seed, column headers, data rows, wall-clock) so result
 // files can accumulate across runs — including the island experiment's
-// island-vs-sequential numbers.
+// island-vs-sequential numbers and the evolve experiment's
+// naive-vs-incremental evaluation comparison.
 package main
 
 import (
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "paper figure (3-11), supplementary experiment (extended, scalability, dynamic, island), 'all' figures, or 'everything'")
+		figure  = flag.String("figure", "all", "paper figure (3-11), supplementary experiment (extended, scalability, dynamic, island, evolve), 'all' figures, or 'everything'")
 		profile = flag.String("profile", "default", "experiment scale: fast, default, or paper")
 		seed    = flag.Uint64("seed", 0, "override the profile's base seed")
 		workers = flag.Int("workers", 0, "parallel workers (0: all CPUs)")

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"pnsched/internal/rng"
+	"pnsched/internal/units"
+)
+
+// Naive-vs-incremental evaluation benchmarks at paper scale: one batch
+// decision of 200 tasks on 50 heterogeneous processors (the §4.3 batch
+// on the §4.2 cluster) with the paper's micro-GA (population 20, one
+// §3.5 rebalance per individual per generation):
+//
+//	go test ./internal/core -run=NONE -bench=BenchmarkEvolve
+//
+// Both variants return byte-identical schedules for the same seed (the
+// equivalence tests assert it); the rows differ in ns/op — the real
+// cost of a batch decision — and in full-evals/gen, the evaluated
+// genes per generation expressed in full-chromosome equivalents. The
+// naive engine re-scores all 20 individuals every generation and the
+// rebalancer re-scores every candidate move, ~45+ full evaluations per
+// generation; the incremental engine pays full price only for
+// crossover children and re-derives everything else by delta.
+const (
+	evolveBenchTasks = 200
+	evolveBenchProcs = 50
+	evolveBenchGens  = 200
+)
+
+func benchEvolveEngine(b *testing.B, naive bool) {
+	b.Helper()
+	p := benchProblem(evolveBenchTasks, evolveBenchProcs, 4242)
+	cfg := DefaultConfig()
+	cfg.Generations = evolveBenchGens
+	cfg.NaiveEvaluation = naive
+	chrom := ChromosomeLen(evolveBenchTasks, evolveBenchProcs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rng.New(uint64(i))
+		st := Evolve(p, cfg, ListPopulation(p, cfg.Population, r), units.Inf(), r)
+		perGen := float64(st.GenesEvaluated) / float64(st.Result.Generations) / float64(chrom)
+		b.ReportMetric(perGen, "full-evals/gen")
+		b.ReportMetric(float64(st.BestMakespan), "makespan-s")
+	}
+}
+
+// BenchmarkEvolveNaive is the legacy full-re-evaluation engine.
+func BenchmarkEvolveNaive(b *testing.B) { benchEvolveEngine(b, true) }
+
+// BenchmarkEvolveIncremental is the default cached-delta engine.
+func BenchmarkEvolveIncremental(b *testing.B) { benchEvolveEngine(b, false) }

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"pnsched/internal/ga"
+	"pnsched/internal/rng"
+	"pnsched/internal/units"
+	"pnsched/internal/workload"
+)
+
+// randomProblem builds a randomized batch-scheduling problem: random
+// task sizes, rates, prior loads and communication estimates, with the
+// Γc term included or not — the full surface the incremental evaluator
+// must reproduce bit-for-bit.
+func randomProblem(seed uint64) *Problem {
+	r := rng.New(seed)
+	n := 20 + r.Intn(50)
+	m := 3 + r.Intn(8)
+	batch := workload.Generate(workload.Spec{
+		N:     n,
+		Sizes: workload.Uniform{Lo: 10, Hi: 1000},
+	}, r)
+	rates := make([]units.Rate, m)
+	loads := make([]units.MFlops, m)
+	comm := make([]units.Seconds, m)
+	for j := 0; j < m; j++ {
+		rates[j] = units.Rate(r.Uniform(10, 100))
+		if r.Float64() < 0.5 {
+			loads[j] = units.MFlops(r.Uniform(0, 5000))
+		}
+		comm[j] = units.Seconds(r.Uniform(0.1, 2))
+	}
+	includeComm := r.Float64() < 0.7
+	return BuildProblem(batch, rates, loads, comm, includeComm)
+}
+
+// evolveTrace captures everything a run exposes that equivalence must
+// cover: the final result and the whole per-generation makespan
+// trajectory.
+type evolveTrace struct {
+	st      EvolveStats
+	history []units.Seconds
+}
+
+func traceEvolve(p *Problem, cfg Config, seed uint64, islands int) evolveTrace {
+	var tr evolveTrace
+	cfg.OnBestMakespan = func(_ int, mk units.Seconds) {
+		tr.history = append(tr.history, mk)
+	}
+	r := rng.New(seed)
+	if islands > 1 {
+		tr.st = EvolveIsland(context.Background(), p, cfg, IslandConfig{Islands: islands, MigrationInterval: 5}, units.Inf(), r)
+	} else {
+		initial := ListPopulation(p, cfg.Population, r)
+		tr.st = Evolve(p, cfg, initial, units.Inf(), r)
+	}
+	return tr
+}
+
+// TestIncrementalMatchesNaiveEvolve is the determinism guarantee of
+// the incremental evaluation engine: for a fixed seed, the incremental
+// and naive paths must return byte-identical best schedules, best
+// fitness values and per-generation makespan trajectories — over
+// randomized problems and operator mixes — while evaluating strictly
+// fewer genes.
+func TestIncrementalMatchesNaiveEvolve(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		p := randomProblem(seed)
+		cfg := DefaultConfig()
+		cfg.Generations = 40
+		cfg.Rebalances = int(seed % 4) // 0..3: pure GA through heavy §3.5 use
+		cfg.MutationsPerGeneration = 1 + int(seed%2)
+		if seed%3 == 0 {
+			cfg.Crossover = ga.PMX
+		}
+
+		naiveCfg := cfg
+		naiveCfg.NaiveEvaluation = true
+		inc := traceEvolve(p, cfg, seed^0xfeed, 1)
+		nai := traceEvolve(p, naiveCfg, seed^0xfeed, 1)
+
+		if !inc.st.Result.Best.Equal(nai.st.Result.Best) {
+			t.Fatalf("seed %d: best schedules diverged", seed)
+		}
+		if inc.st.Result.BestFitness != nai.st.Result.BestFitness ||
+			inc.st.BestMakespan != nai.st.BestMakespan ||
+			inc.st.Result.Generations != nai.st.Result.Generations {
+			t.Fatalf("seed %d: results diverged: %+v vs %+v", seed, inc.st, nai.st)
+		}
+		if len(inc.history) != len(nai.history) {
+			t.Fatalf("seed %d: trajectory lengths %d vs %d", seed, len(inc.history), len(nai.history))
+		}
+		for g := range inc.history {
+			if inc.history[g] != nai.history[g] {
+				t.Fatalf("seed %d: trajectories diverged at generation %d: %v vs %v",
+					seed, g, inc.history[g], nai.history[g])
+			}
+		}
+		if inc.st.GenesEvaluated >= nai.st.GenesEvaluated {
+			t.Errorf("seed %d: incremental evaluated %d genes, naive %d — no saving",
+				seed, inc.st.GenesEvaluated, nai.st.GenesEvaluated)
+		}
+	}
+}
+
+// TestIslandIncrementalMatchesNaive extends the equivalence guarantee
+// across the island-model runner: concurrent islands with migration,
+// each on its own incremental evaluator, must reproduce the naive
+// run's result exactly. Run under -race (the CI default) this also
+// exercises the slot caches for data races.
+func TestIslandIncrementalMatchesNaive(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		p := randomProblem(seed + 100)
+		cfg := DefaultConfig()
+		cfg.Generations = 30
+		cfg.Rebalances = int(seed % 2)
+
+		naiveCfg := cfg
+		naiveCfg.NaiveEvaluation = true
+		inc := traceEvolve(p, cfg, seed, 3)
+		nai := traceEvolve(p, naiveCfg, seed, 3)
+
+		if !inc.st.Result.Best.Equal(nai.st.Result.Best) ||
+			inc.st.Result.BestFitness != nai.st.Result.BestFitness ||
+			inc.st.BestMakespan != nai.st.BestMakespan {
+			t.Fatalf("seed %d: island runs diverged: %v vs %v", seed, inc.st.BestMakespan, nai.st.BestMakespan)
+		}
+		if inc.st.GenesEvaluated >= nai.st.GenesEvaluated {
+			t.Errorf("seed %d: incremental islands evaluated %d genes, naive %d",
+				seed, inc.st.GenesEvaluated, nai.st.GenesEvaluated)
+		}
+	}
+}
+
+// TestIncrementalDeltaMatchesFullEvaluation drives the slot cache
+// directly through randomized swap sequences — task-task swaps within
+// and across queues plus delimiter moves — asserting after every step
+// that the cached completion times and fitness are bit-identical to a
+// from-scratch evaluation.
+func TestIncrementalDeltaMatchesFullEvaluation(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		p := randomProblem(seed + 500)
+		r := rng.New(seed ^ 0xdead)
+		c := RandomPopulation(p, 1, r)[0]
+
+		ev := NewIncrementalEvaluator(p)
+		ev.InitSlots(1)
+		if f, computed := ev.FitnessSlot(0, c); !computed || f != p.Fitness(c) {
+			t.Fatalf("seed %d: initial slot evaluation wrong: %v vs %v", seed, f, p.Fitness(c))
+		}
+
+		for step := 0; step < 60; step++ {
+			i := r.Intn(len(c))
+			j := r.Intn(len(c) - 1)
+			if j >= i {
+				j++
+			}
+			c[i], c[j] = c[j], c[i]
+			ev.SwapAt(0, c, i, j)
+
+			f, _ := ev.FitnessSlot(0, c)
+			if want := p.Fitness(c); f != want {
+				t.Fatalf("seed %d step %d: fitness %v, want %v (swap %d,%d)", seed, step, f, want, i, j)
+			}
+			s := ev.slot(0)
+			wantTimes := p.CompletionTimes(c, nil)
+			for q := range wantTimes {
+				got, want := float64(s.times[q]), float64(wantTimes[q])
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("seed %d step %d: queue %d time %v, want %v", seed, step, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalRebalancerMatchesStandalone: the slot-aware rebalancer
+// must take the exact decisions (and RNG draws) of the standalone one.
+func TestIncrementalRebalancerMatchesStandalone(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		p := randomProblem(seed + 900)
+		c1 := ListPopulation(p, 1, rng.New(seed))[0]
+		c2 := c1.Clone()
+
+		rbNaive := NewRebalancer(p)
+		ev := NewIncrementalEvaluator(p)
+		ev.InitSlots(1)
+		rbSlot := NewRebalancer(p)
+		rbSlot.BindSlots(ev)
+
+		r1, r2 := rng.New(seed*7+1), rng.New(seed*7+1)
+		for round := 0; round < 25; round++ {
+			kept1 := rbNaive.Step(c1, r1)
+			kept2 := rbSlot.StepSlot(0, c2, r2)
+			if kept1 != kept2 || !c1.Equal(c2) {
+				t.Fatalf("seed %d round %d: rebalancer modes diverged (kept %v vs %v)", seed, round, kept1, kept2)
+			}
+		}
+	}
+}

@@ -45,9 +45,14 @@ const (
 // literally (0 = pure GA), so use DefaultConfig as a starting point
 // when the paper's single-rebalance behaviour is wanted.
 type Config struct {
-	Population             int
-	Generations            int
-	Rebalances             int // §3.5 rebalance attempts per individual per generation
+	Population  int
+	Generations int
+	Rebalances  int // §3.5 rebalance attempts per individual per generation
+	// CrossoverFraction and MutationsPerGeneration follow the ga.Config
+	// sentinel convention: zero selects the paper default (0.8 / 1),
+	// negative disables the operator outright — so crossover-free and
+	// mutation-free ablations are configurable. Negative values are
+	// passed through to the GA layer, which resolves them.
 	CrossoverFraction      float64
 	MutationsPerGeneration int
 	// Crossover selects the permutation operator; nil is the paper's
@@ -71,10 +76,25 @@ type Config struct {
 	BatchScale float64
 
 	// CostPerGene converts fitness-evaluation work into simulated
-	// scheduler time: cost = CostPerGene × chromosomeLength × evals.
-	// It is both the budget model for the §3.4 stop-when-idle condition
-	// and the scheduler-busy time charged by the simulator.
+	// scheduler time: cost = CostPerGene × genes evaluated, where a
+	// full evaluation charges the whole chromosome and an incremental
+	// one only the queues actually rescanned. It is both the budget
+	// model for the §3.4 stop-when-idle condition and the
+	// scheduler-busy time charged by the simulator; the two now bill
+	// the same ledger (including §3.5 rebalancer work), so a run's
+	// ModelledCost cannot overrun its budget by more than the cost of
+	// the single generation in flight when the budget ran out.
 	CostPerGene units.Seconds
+
+	// NaiveEvaluation selects the legacy evaluation path: every
+	// individual is fully re-evaluated every generation and the
+	// rebalancer recomputes every candidate move from scratch. The
+	// default (false) is the incremental engine — identical schedules
+	// and fitness trajectories for the same seed (asserted by
+	// equivalence tests), at a fraction of the evaluated genes. The
+	// switch exists for those equivalence tests and the
+	// BenchmarkEvolve{Naive,Incremental} comparison.
+	NaiveEvaluation bool
 
 	// TargetMakespan stops evolution early once the best individual's
 	// predicted makespan drops to this value (§3.4 "if it is less than
@@ -111,6 +131,9 @@ func (c *Config) applyDefaults() {
 	if c.Generations == 0 {
 		c.Generations = DefaultGenerations
 	}
+	// Zero means "unset" (paper default); negative is the explicit
+	// disabled sentinel, kept as-is so the GA layer (which shares the
+	// convention) still sees it.
 	if c.CrossoverFraction == 0 {
 		c.CrossoverFraction = 0.8
 	}
@@ -171,10 +194,93 @@ type EvolveStats struct {
 	// makespan").
 	BestMakespan units.Seconds
 	// Evals counts fitness evaluations, including those performed by
-	// the rebalancing heuristic.
+	// the rebalancing heuristic. Under incremental evaluation an
+	// evaluation may be a cheap delta; GenesEvaluated is the work.
 	Evals int
-	// ModelledCost is the simulated scheduler compute time for the run.
+	// GenesEvaluated is the total evaluation work in chromosome
+	// positions scanned, across the GA engine and the §3.5 rebalancer
+	// (for island runs: summed over all islands).
+	GenesEvaluated int
+	// ModelledCost is the simulated scheduler compute time for the
+	// run: CostPerGene × GenesEvaluated (for island runs, × the
+	// busiest island's genes — the islands run in parallel).
 	ModelledCost units.Seconds
+}
+
+// evolveEvaluators builds the evaluation stack one GA run (or one
+// island) uses: the ga.Evaluator to drive the engine with, a
+// rebalancer wired to the same gene ledger, and the ledger reader the
+// §3.4 budget check polls. cfg must have defaults applied.
+func evolveEvaluators(p *Problem, cfg Config) (eval ga.Evaluator, rb *Rebalancer, genes func() int, inc *IncrementalEvaluator) {
+	rb = NewRebalancer(p)
+	if cfg.NaiveEvaluation {
+		counting := &countingEvaluator{eval: p.Evaluator()}
+		rb.charge = counting.add
+		return counting, rb, counting.GenesEvaluated, nil
+	}
+	inc = NewIncrementalEvaluator(p)
+	rb.BindSlots(inc)
+	return inc, rb, inc.GenesEvaluated, inc
+}
+
+// countingEvaluator wraps the naive Problem evaluator with the gene
+// ledger the budget model reads: every full evaluation charges the
+// whole chromosome.
+type countingEvaluator struct {
+	eval  ga.Evaluator
+	genes int
+}
+
+func (e *countingEvaluator) Fitness(c ga.Chromosome) float64 {
+	e.genes += len(c)
+	return e.eval.Fitness(c)
+}
+
+// GenesEvaluated implements ga.GeneCounter.
+func (e *countingEvaluator) GenesEvaluated() int { return e.genes }
+
+func (e *countingEvaluator) add(genes int) { e.genes += genes }
+
+// budgetStop returns the §3.4 stop-when-idle predicate over the gene
+// ledger: evolution stops before any generation whose worst-case cost
+// could push the cumulative bill past the budget. The check and
+// ModelledCost read the same ledger — rebalancer evaluations included
+// — so a run can never overrun its modelled time-to-first-idle budget
+// (the defect the old generation-count check had as soon as
+// Rebalances > 0). The price is conservatism of at most one worst-case
+// generation: a full population sweep plus two evaluations per §3.5
+// rebalance attempt plus the mutation deltas, which upper-bounds a
+// generation in both evaluation modes (the incremental engine only
+// ever does less).
+// extraGenes reserves work charged outside the generation loop —
+// island runs pass the per-round migration charge (each injected
+// migrant is one full evaluation).
+func budgetStop(cfg Config, p *Problem, budget units.Seconds, genes func() int, extraGenes int) func() bool {
+	if budget.IsInf() {
+		return func() bool { return false }
+	}
+	chrom := ChromosomeLen(len(p.Batch), p.M)
+	muts := cfg.MutationsPerGeneration
+	if muts < 0 { // disabled-operator sentinel
+		muts = 0
+	}
+	worstGen := chrom*(cfg.Population*(1+2*cfg.Rebalances)+muts) + extraGenes
+	return func() bool {
+		return units.Seconds(float64(cfg.CostPerGene)*float64(genes()+worstGen)) > budget
+	}
+}
+
+// bestMakespanOf reads the best individual's predicted makespan from
+// the incremental cache when one is live, recomputing from scratch
+// otherwise — shared by the sequential and island OnGeneration
+// observers.
+func bestMakespanOf(inc *IncrementalEvaluator, p *Problem, best ga.Chromosome, scratch []units.Seconds) units.Seconds {
+	if inc != nil {
+		if mk, ok := inc.BestMakespan(); ok {
+			return mk
+		}
+	}
+	return p.MakespanInto(best, scratch)
 }
 
 // Evolve runs the §3 genetic algorithm once over a problem: seeded with
@@ -184,12 +290,8 @@ type EvolveStats struct {
 // best schedule found.
 func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Seconds, r *rng.RNG) EvolveStats {
 	cfg.applyDefaults()
-	eval := p.Evaluator()
-	rb := NewRebalancer(p)
-	genes := ChromosomeLen(len(p.Batch), p.M)
-	// Modelled wall-clock cost of one generation: every individual is
-	// re-evaluated over the full chromosome.
-	perGen := float64(cfg.CostPerGene) * float64(genes) * float64(cfg.Population)
+	eval, rb, genes, inc := evolveEvaluators(p, cfg)
+	overBudget := budgetStop(cfg, p, budget, genes, 0)
 
 	bestMakespan := units.Inf()
 	mkScratch := make([]units.Seconds, p.M)
@@ -201,8 +303,10 @@ func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Second
 		MutationsPerGeneration: cfg.MutationsPerGeneration,
 		Elitism:                true,
 		OnGeneration: func(gen int, best ga.Chromosome, _ float64) {
-			mk := p.MakespanInto(best, mkScratch)
-			if mk < bestMakespan {
+			// The incremental engine already holds the best
+			// individual's completion times; the naive path recomputes
+			// them (the duplicate work the cache exists to avoid).
+			if mk := bestMakespanOf(inc, p, best, mkScratch); mk < bestMakespan {
 				bestMakespan = mk
 			}
 			if cfg.OnBestMakespan != nil {
@@ -215,28 +319,38 @@ func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Second
 			}
 			// §3.4: "The GA will also stop evolving if one of the
 			// processors becomes idle" — modelled as the cumulative
-			// compute cost exceeding the time budget.
-			if !budget.IsInf() && units.Seconds(float64(gen)*perGen) > budget {
-				return true
-			}
-			return false
+			// compute cost exhausting the time budget.
+			return overBudget()
 		},
 	}
 	if cfg.Rebalances > 0 {
-		gaCfg.PostGeneration = func(pop []ga.Chromosome, r *rng.RNG) {
-			for _, ind := range pop {
-				rb.Apply(ind, cfg.Rebalances, r)
-			}
-		}
+		gaCfg.PostGeneration = postGeneration(rb, cfg.Rebalances, inc != nil)
 	}
 
 	res := ga.Run(gaCfg, eval, initial, r)
-	evals := res.Evaluations + rb.Evals
 	return EvolveStats{
-		Result:       res,
-		BestMakespan: bestMakespan,
-		Evals:        evals,
-		ModelledCost: units.Seconds(float64(cfg.CostPerGene) * float64(genes) * float64(evals)),
+		Result:         res,
+		BestMakespan:   bestMakespan,
+		Evals:          res.Evaluations + rb.Evals,
+		GenesEvaluated: genes(),
+		ModelledCost:   units.Seconds(float64(cfg.CostPerGene) * float64(genes())),
+	}
+}
+
+// postGeneration builds the §3.5 rebalancing hook in the requested
+// evaluation mode.
+func postGeneration(rb *Rebalancer, rebalances int, slots bool) func(pop []ga.Chromosome, r *rng.RNG) {
+	if slots {
+		return func(pop []ga.Chromosome, r *rng.RNG) {
+			for i, ind := range pop {
+				rb.ApplySlot(i, ind, rebalances, r)
+			}
+		}
+	}
+	return func(pop []ga.Chromosome, r *rng.RNG) {
+		for _, ind := range pop {
+			rb.Apply(ind, rebalances, r)
+		}
 	}
 }
 

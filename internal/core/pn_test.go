@@ -60,19 +60,49 @@ func TestRebalancingImprovesConvergence(t *testing.T) {
 }
 
 func TestEvolveRespectsBudget(t *testing.T) {
-	p := benchProblem(100, 10, 5)
-	r := rng.New(6)
-	initial := ListPopulation(p, 20, r)
-	cfg := DefaultConfig()
-	// Budget of ~3 generations' modelled cost.
-	genes := ChromosomeLen(100, 10)
-	perGen := float64(cfg.CostPerGene) * float64(genes) * float64(cfg.Population)
-	st := Evolve(p, cfg, initial, units.Seconds(3.5*perGen), r)
-	if st.Result.Generations > 4 {
-		t.Errorf("budget ignored: ran %d generations", st.Result.Generations)
+	for _, naive := range []bool{false, true} {
+		p := benchProblem(100, 10, 5)
+		r := rng.New(6)
+		initial := ListPopulation(p, 20, r)
+		cfg := DefaultConfig()
+		cfg.NaiveEvaluation = naive
+		// Budget of a few naive generations' modelled cost.
+		genes := ChromosomeLen(100, 10)
+		perGen := float64(cfg.CostPerGene) * float64(genes) * float64(cfg.Population)
+		budget := units.Seconds(3.5 * perGen)
+		st := Evolve(p, cfg, initial, budget, r)
+		if st.Result.Generations >= cfg.Generations {
+			t.Errorf("naive=%v: budget ignored: ran %d generations", naive, st.Result.Generations)
+		}
+		// The reconciliation the budget fix is about: the billed cost
+		// reads the same gene ledger the stop check does — rebalancer
+		// evaluations included — so the bill fits the budget.
+		if st.ModelledCost > budget {
+			t.Errorf("naive=%v: modelled cost %v overran the budget %v", naive, st.ModelledCost, budget)
+		}
+		if st.Result.Reason != ga.StopCallback {
+			t.Errorf("naive=%v: stop reason = %v, want callback (processor idle)", naive, st.Result.Reason)
+		}
 	}
-	if st.Result.Reason != ga.StopCallback {
-		t.Errorf("stop reason = %v, want callback (processor idle)", st.Result.Reason)
+}
+
+// The incremental engine's cheaper generations buy more evolution
+// inside the same §3.4 budget — the throughput the incremental
+// evaluation engine exists to unlock.
+func TestIncrementalBuysMoreGenerationsPerBudget(t *testing.T) {
+	gens := func(naive bool) int {
+		p := benchProblem(100, 10, 5)
+		r := rng.New(6)
+		initial := ListPopulation(p, 20, r)
+		cfg := DefaultConfig()
+		cfg.NaiveEvaluation = naive
+		genes := ChromosomeLen(100, 10)
+		perGen := float64(cfg.CostPerGene) * float64(genes) * float64(cfg.Population)
+		return Evolve(p, cfg, initial, units.Seconds(20*perGen), r).Result.Generations
+	}
+	incremental, naive := gens(false), gens(true)
+	if incremental <= naive {
+		t.Errorf("incremental ran %d generations, naive %d — want more per budget", incremental, naive)
 	}
 }
 
@@ -105,6 +135,40 @@ func TestEvolveHistoryObserver(t *testing.T) {
 	for i := 1; i < len(history); i++ {
 		if history[i] > history[i-1] {
 			t.Fatalf("best makespan regressed at generation %d", i)
+		}
+	}
+}
+
+// TestOperatorSentinelsDisableOperators: negative CrossoverFraction /
+// MutationsPerGeneration must configure a genuinely operator-free GA —
+// with rebalancing also off, nothing can alter the cloned individuals,
+// so the best fitness stays pinned at the initial population's best.
+// (Zero still means "paper default"; the regression this guards is the
+// old applyDefaults silently re-enabling the operators.)
+func TestOperatorSentinelsDisableOperators(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		p := benchProblem(60, 6, 77)
+		r := rng.New(78)
+		initial := ListPopulation(p, 20, r)
+		initBest := 0.0
+		for _, c := range initial {
+			if f := p.Fitness(c); f > initBest {
+				initBest = f
+			}
+		}
+		cfg := DefaultConfig()
+		cfg.Generations = 50
+		cfg.Rebalances = 0
+		cfg.CrossoverFraction = -1
+		cfg.MutationsPerGeneration = -1
+		cfg.NaiveEvaluation = naive
+		st := Evolve(p, cfg, initial, units.Inf(), r)
+		if st.Result.BestFitness != initBest {
+			t.Errorf("naive=%v: operator-free GA changed fitness: %v → %v (an operator ran)",
+				naive, initBest, st.Result.BestFitness)
+		}
+		if st.Result.Generations != 50 {
+			t.Errorf("naive=%v: ran %d generations, want 50", naive, st.Result.Generations)
 		}
 	}
 }

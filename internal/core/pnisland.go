@@ -48,30 +48,18 @@ func (c IslandConfig) islands() int {
 // separate cores, so the charged compute time follows the busiest
 // island, not the sum — that is the speedup the island model buys.
 //
-// The budget is converted up front into a per-island generation cap
-// (every island shares the cost model, so the §3.4 budget stop is a
-// pure function of the generation number), which keeps budget- and
-// cap-terminated runs deterministic in (seed, N). A TargetMakespan
-// stop goes through the live callback instead — the first island to
-// reach the target cancels the rest promptly, at a wall-clock-
-// dependent generation, as §3.4's early abort intends. See the
-// internal/island package documentation for the full contract.
+// The §3.4 budget is enforced island-locally: each island stops once
+// its own gene ledger (it runs on its own core, so its own modelled
+// elapsed time) exhausts the budget. A local stop never cancels the
+// other islands mid-round, so budget- and cap-terminated runs stay
+// deterministic in (seed, N). A TargetMakespan stop goes through the
+// broadcast callback instead — the first island to reach the target
+// cancels the rest promptly, at a wall-clock-dependent generation, as
+// §3.4's early abort intends. See the internal/island package
+// documentation for the full contract.
 func EvolveIsland(ctx context.Context, p *Problem, cfg Config, icfg IslandConfig, budget units.Seconds, r *rng.RNG) EvolveStats {
 	cfg.applyDefaults()
 	n := icfg.islands()
-	genes := ChromosomeLen(len(p.Batch), p.M)
-	perGen := float64(cfg.CostPerGene) * float64(genes) * float64(cfg.Population)
-
-	// §3.4 budget → deterministic generation cap: the largest gen with
-	// gen×perGen ≤ budget (matching Evolve's per-generation check).
-	maxGens := cfg.Generations
-	budgetLimited := false
-	if !budget.IsInf() && perGen > 0 {
-		if cap := int(float64(budget) / perGen); cap < maxGens {
-			maxGens = cap
-			budgetLimited = true
-		}
-	}
 
 	// Per-island state, indexed by island: rebalancers carry scratch
 	// buffers and evaluation counters; bestMk tracks each island's
@@ -80,54 +68,58 @@ func EvolveIsland(ctx context.Context, p *Problem, cfg Config, icfg IslandConfig
 	rebalancers := make([]*Rebalancer, n)
 	bestMk := make([]units.Seconds, n)
 
-	setup := func(i int, ri *rng.RNG) island.Setup {
-		bestMk[i] = units.Inf()
-		mkScratch := make([]units.Seconds, p.M)
-		gaCfg := ga.Config{
-			PopulationSize:         cfg.Population,
-			MaxGenerations:         maxGens,
-			CrossoverFraction:      cfg.CrossoverFraction,
-			Crossover:              cfg.Crossover,
-			MutationsPerGeneration: cfg.MutationsPerGeneration,
-			Elitism:                true,
-			OnGeneration: func(_ int, best ga.Chromosome, _ float64) {
-				if mk := p.MakespanInto(best, mkScratch); mk < bestMk[i] {
-					bestMk[i] = mk
-				}
-			},
-		}
-		if maxGens < 1 {
-			// The budget is gone before the first generation: stop every
-			// island at its first poll (ga treats MaxGenerations 0 as
-			// "use the default", so the cap cannot express this).
-			gaCfg.MaxGenerations = 1
-			gaCfg.Stop = func(int, float64) bool { return true }
-		} else if cfg.TargetMakespan > 0 {
-			gaCfg.Stop = func(int, float64) bool {
-				return bestMk[i] <= cfg.TargetMakespan
-			}
-		}
-		if cfg.Rebalances > 0 {
-			rb := NewRebalancer(p)
-			rebalancers[i] = rb
-			gaCfg.PostGeneration = func(pop []ga.Chromosome, rr *rng.RNG) {
-				for _, ind := range pop {
-					rb.Apply(ind, cfg.Rebalances, rr)
-				}
-			}
-		}
-		return island.Setup{
-			GA:      gaCfg,
-			Eval:    p.Evaluator(),
-			Initial: ListPopulation(p, cfg.Population, ri),
-		}
-	}
-
 	islCfg := island.Config{
 		Islands:           n,
 		MigrationInterval: icfg.MigrationInterval,
 		Migrants:          icfg.Migrants,
 	}
+
+	// The per-round ring-migration injections (one full evaluation per
+	// migrant) are charged to the gene ledger outside the generation
+	// loop, so the budget check must reserve for them too.
+	migrants := islCfg.MigrantsPerExchange()
+	if migrants > cfg.Population {
+		migrants = cfg.Population
+	}
+	migrationReserve := ChromosomeLen(len(p.Batch), p.M) * migrants
+
+	setup := func(i int, ri *rng.RNG) island.Setup {
+		bestMk[i] = units.Inf()
+		eval, rb, genes, inc := evolveEvaluators(p, cfg)
+		overBudget := budgetStop(cfg, p, budget, genes, migrationReserve)
+		mkScratch := make([]units.Seconds, p.M)
+		gaCfg := ga.Config{
+			PopulationSize:         cfg.Population,
+			MaxGenerations:         cfg.Generations,
+			CrossoverFraction:      cfg.CrossoverFraction,
+			Crossover:              cfg.Crossover,
+			MutationsPerGeneration: cfg.MutationsPerGeneration,
+			Elitism:                true,
+			OnGeneration: func(_ int, best ga.Chromosome, _ float64) {
+				if mk := bestMakespanOf(inc, p, best, mkScratch); mk < bestMk[i] {
+					bestMk[i] = mk
+				}
+			},
+		}
+		if cfg.TargetMakespan > 0 {
+			gaCfg.Stop = func(int, float64) bool {
+				return bestMk[i] <= cfg.TargetMakespan
+			}
+		}
+		if cfg.Rebalances > 0 {
+			rebalancers[i] = rb
+			gaCfg.PostGeneration = postGeneration(rb, cfg.Rebalances, inc != nil)
+		}
+		return island.Setup{
+			GA:      gaCfg,
+			Eval:    eval,
+			Initial: ListPopulation(p, cfg.Population, ri),
+			LocalStop: func(int, float64) bool {
+				return overBudget()
+			},
+		}
+	}
+
 	if cfg.OnBestMakespan != nil {
 		islCfg.OnRound = func(_, gens int, _ ga.Chromosome, _ float64) {
 			mk := units.Inf()
@@ -147,35 +139,36 @@ func EvolveIsland(ctx context.Context, p *Problem, cfg Config, icfg IslandConfig
 			bestMakespan = m
 		}
 	}
-	evals, maxEvals := 0, 0
+	evals := 0
+	genes, maxGenes := 0, 0
 	for i, ir := range res.Islands {
 		e := ir.Evaluations
 		if rebalancers[i] != nil {
 			e += rebalancers[i].Evals
 		}
 		evals += e
-		if e > maxEvals {
-			maxEvals = e
+		// Each island's ga.Result carries its own gene ledger
+		// (rebalancer work included — they share the evaluator).
+		genes += ir.GenesEvaluated
+		if ir.GenesEvaluated > maxGenes {
+			maxGenes = ir.GenesEvaluated
 		}
-	}
-	reason := res.Reason
-	if budgetLimited && reason == ga.StopMaxGenerations {
-		// The cap the islands hit was the budget, not the configured
-		// generation limit: report it as the §3.4 idle-processor stop,
-		// as the sequential engine does.
-		reason = ga.StopCallback
 	}
 	return EvolveStats{
 		Result: ga.Result{
-			Best:        res.Best,
-			BestFitness: res.BestFitness,
-			Generations: res.Generations,
-			Reason:      reason,
-			Evaluations: res.Evaluations,
+			Best:           res.Best,
+			BestFitness:    res.BestFitness,
+			Generations:    res.Generations,
+			Reason:         res.Reason,
+			Evaluations:    res.Evaluations,
+			GenesEvaluated: genes,
 		},
-		BestMakespan: bestMakespan,
-		Evals:        evals,
-		ModelledCost: units.Seconds(float64(cfg.CostPerGene) * float64(genes) * float64(maxEvals)),
+		BestMakespan:   bestMakespan,
+		Evals:          evals,
+		GenesEvaluated: genes,
+		// Parallel cost model: the islands run on separate cores, so
+		// the charged compute time follows the busiest island's genes.
+		ModelledCost: units.Seconds(float64(cfg.CostPerGene) * float64(maxGenes)),
 	}
 }
 

@@ -227,6 +227,39 @@ func (p *Problem) relativeErrorFrom(times []units.Seconds) float64 {
 	return math.Sqrt(sum)
 }
 
+// fitnessFromError maps a relative error onto the (0, 1] fitness scale
+// — the single conversion every evaluation path (naive, incremental,
+// rebalancer) shares, so cached and recomputed fitness values are
+// bit-identical. Non-finite errors (an unreachable schedule, or a
+// degenerate problem whose ψ is itself non-finite) score zero so the
+// roulette wheel gives them no mass.
+func fitnessFromError(e float64) float64 {
+	if math.IsInf(e, 1) || math.IsNaN(e) {
+		return 0
+	}
+	return 1 / (1 + e)
+}
+
+// segmentTime computes the completion time of processor j given the
+// queue encoded by c[lo:hi] — exactly the arithmetic of
+// CompletionTimes' per-segment flush (same accumulation order), so a
+// segment-local recomputation is bit-identical to a full one. The span
+// must contain task symbols only.
+func (p *Problem) segmentTime(c ga.Chromosome, j, lo, hi int) units.Seconds {
+	var queueWork units.MFlops
+	for _, sym := range c[lo:hi] {
+		queueWork += p.sizeOf(sym)
+	}
+	ct := p.delta(j)
+	if count := hi - lo; count > 0 {
+		ct += queueWork.TimeOn(p.Rates[j])
+		if p.IncludeComm {
+			ct += units.Seconds(float64(count) * float64(p.Comm[j]))
+		}
+	}
+	return ct
+}
+
 // Fitness maps the relative error onto (0, 1]:
 //
 //	F = 1 / (1 + E)
@@ -236,11 +269,7 @@ func (p *Problem) relativeErrorFrom(times []units.Seconds) float64 {
 // selection order, is defined at E = 0 and decays to 0 as E → ∞ (see
 // DESIGN.md §3). Larger values indicate fitter schedules.
 func (p *Problem) Fitness(c ga.Chromosome) float64 {
-	e := p.RelativeError(c)
-	if math.IsInf(e, 1) {
-		return 0
-	}
-	return 1 / (1 + e)
+	return fitnessFromError(p.RelativeError(c))
 }
 
 // Evaluator returns an allocation-free ga.Evaluator bound to this
@@ -249,12 +278,7 @@ func (p *Problem) Fitness(c ga.Chromosome) float64 {
 func (p *Problem) Evaluator() ga.Evaluator {
 	scratch := make([]units.Seconds, p.M)
 	return ga.EvaluatorFunc(func(c ga.Chromosome) float64 {
-		times := p.CompletionTimes(c, scratch)
-		e := p.relativeErrorFrom(times)
-		if math.IsInf(e, 1) {
-			return 0
-		}
-		return 1 / (1 + e)
+		return fitnessFromError(p.relativeErrorFrom(p.CompletionTimes(c, scratch)))
 	})
 }
 

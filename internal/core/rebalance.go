@@ -10,17 +10,35 @@ import (
 // chromosomes of one Problem. It keeps scratch buffers so repeated
 // application inside the GA's generation loop is cheap; use one
 // Rebalancer per goroutine.
+//
+// The rebalancer has two evaluation modes. Standalone (NewRebalancer),
+// every candidate move is scored with a full completion-time
+// computation. Bound to an IncrementalEvaluator (BindSlots), it reads
+// the individual's cached completion times instead — the "before"
+// fitness is already known, and a candidate swap re-derives only the
+// two affected queues — with all work charged to the shared evaluator
+// ledger. Both modes take bit-identical keep/revert decisions.
 type Rebalancer struct {
 	p      *Problem
 	times  []units.Seconds
 	ftimes []units.Seconds // separate scratch for fitness probes
 	segs   []int           // scratch: segment (processor) index per chromosome position
 	// Evals counts fitness evaluations performed by rebalancing, so
-	// the scheduler can charge their cost alongside the GA's own.
+	// the scheduler can charge their cost alongside the GA's own. In
+	// slot mode a candidate probe counts once (the cached "before"
+	// needs no work).
 	Evals int
+
+	// charge, when non-nil, bills full-evaluation gene work in
+	// standalone mode (set by Evolve's naive path so the §3.4 budget
+	// sees rebalancing cost).
+	charge func(genes int)
+	// ev, when non-nil, is the shared incremental evaluator (slot
+	// mode).
+	ev *IncrementalEvaluator
 }
 
-// NewRebalancer returns a Rebalancer for the problem.
+// NewRebalancer returns a standalone Rebalancer for the problem.
 func NewRebalancer(p *Problem) *Rebalancer {
 	return &Rebalancer{
 		p:      p,
@@ -29,15 +47,22 @@ func NewRebalancer(p *Problem) *Rebalancer {
 	}
 }
 
-// fitness evaluates c without allocating.
+// BindSlots switches the rebalancer to slot mode: candidate moves are
+// scored against ev's cached completion-time vectors and all work is
+// charged to ev's gene ledger. Use StepSlot/ApplySlot afterwards.
+func (rb *Rebalancer) BindSlots(ev *IncrementalEvaluator) {
+	rb.ev = ev
+}
+
+// fitness evaluates c from scratch without allocating (standalone
+// mode).
 func (rb *Rebalancer) fitness(c ga.Chromosome) float64 {
 	rb.Evals++
-	times := rb.p.CompletionTimes(c, rb.ftimes)
-	e := rb.p.relativeErrorFrom(times)
-	if e != e || e > 1e308 { // NaN or effectively infinite
-		return 0
+	if rb.charge != nil {
+		rb.charge(len(c))
 	}
-	return 1 / (1 + e)
+	times := rb.p.CompletionTimes(c, rb.ftimes)
+	return fitnessFromError(rb.p.relativeErrorFrom(times))
 }
 
 // maxProbes is the paper's bound: "We only allow a maximum of 5 random
@@ -112,6 +137,94 @@ func (rb *Rebalancer) Apply(c ga.Chromosome, n int, r *rng.RNG) int {
 	kept := 0
 	for i := 0; i < n; i++ {
 		if rb.Step(c, r) {
+			kept++
+		}
+	}
+	return kept
+}
+
+// StepSlot is Step against the bound evaluator's cached state for the
+// individual in the given population slot: the heavy processor comes
+// from the cached completion times, the "before" fitness is the cached
+// one, and a candidate swap re-derives only the two affected queues.
+// RNG consumption and the keep/revert decision are identical to Step's
+// (same draws, bit-identical fitness values), so slot-mode evolution
+// reproduces standalone-mode evolution exactly.
+func (rb *Rebalancer) StepSlot(slot int, c ga.Chromosome, r *rng.RNG) bool {
+	p, ev := rb.p, rb.ev
+	if ev.ensureValid(slot, c) {
+		// A crossover child (or custom-mutated individual) reaching
+		// the rebalancer unscored: its one full evaluation happens
+		// here instead of at the engine's evaluation sweep.
+		rb.Evals++
+	}
+	s := ev.slot(slot)
+
+	heavy := 0
+	for j := 1; j < p.M; j++ {
+		if s.times[j] > s.times[heavy] {
+			heavy = j
+		}
+	}
+
+	// Per-segment task counts replace Step's position lists: segments
+	// are contiguous spans, so the k-th task position on (or off) the
+	// heavy processor is recovered arithmetically, preserving Step's
+	// draw distribution and RNG consumption.
+	heavyLo, heavyHi := segmentSpan(c, s.delims, heavy)
+	heavyLen := heavyHi - heavyLo
+	otherLen := len(c) - len(s.delims) - heavyLen
+	if heavyLen == 0 || otherLen == 0 {
+		return false
+	}
+
+	for probe := 0; probe < maxProbes; probe++ {
+		hi := heavyLo + r.Intn(heavyLen)
+		oi := rb.otherPosition(c, s.delims, heavy, r.Intn(otherLen))
+		if p.sizeOf(c[oi]) >= p.sizeOf(c[hi]) {
+			continue // the probed task is not smaller; search again
+		}
+		before := s.fitness
+		c[hi], c[oi] = c[oi], c[hi]
+		a := segmentOf(s.delims, hi)
+		b := segmentOf(s.delims, oi)
+		ftimes := append(rb.ftimes[:0], s.times...)
+		ftimes[a] = ev.recomputeSegment(c, s.delims, a)
+		ftimes[b] = ev.recomputeSegment(c, s.delims, b)
+		after := fitnessFromError(p.relativeErrorFrom(ftimes))
+		rb.Evals++
+		if after > before {
+			s.times[a], s.times[b] = ftimes[a], ftimes[b]
+			s.fitness = after
+			return true
+		}
+		c[hi], c[oi] = c[oi], c[hi] // revert: not fitter
+		return false
+	}
+	return false
+}
+
+// otherPosition maps k — an index into the increasing sequence of task
+// positions outside the heavy segment — back to a chromosome position.
+func (rb *Rebalancer) otherPosition(c ga.Chromosome, delims []int, heavy, k int) int {
+	for seg := 0; seg <= len(delims); seg++ {
+		if seg == heavy {
+			continue
+		}
+		lo, hi := segmentSpan(c, delims, seg)
+		if k < hi-lo {
+			return lo + k
+		}
+		k -= hi - lo
+	}
+	panic("core: rebalance position index out of range")
+}
+
+// ApplySlot runs StepSlot n times, returning how many swaps were kept.
+func (rb *Rebalancer) ApplySlot(slot int, c ga.Chromosome, n int, r *rng.RNG) int {
+	kept := 0
+	for i := 0; i < n; i++ {
+		if rb.StepSlot(slot, c, r) {
 			kept++
 		}
 	}

@@ -18,7 +18,7 @@ type Figure interface {
 var Figures = []int{3, 4, 5, 6, 7, 8, 9, 10, 11}
 
 // Supplementary lists the extra experiments beyond the paper's figures.
-var Supplementary = []string{"extended", "scalability", "dynamic", "island"}
+var Supplementary = []string{"extended", "scalability", "dynamic", "island", "evolve"}
 
 // Known reports whether name is a regenerable experiment — a paper
 // figure number or a supplementary experiment name — so front ends can
@@ -53,6 +53,8 @@ func RunNamed(name string, p Profile) (Figure, error) {
 		return Dynamic(p), nil
 	case "island":
 		return Island(p), nil
+	case "evolve":
+		return Evolve(p), nil
 	}
 	fig, err := strconv.Atoi(name)
 	if err != nil {

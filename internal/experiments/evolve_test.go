@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvolveStudyShape(t *testing.T) {
+	p := Fast()
+	p.Repeats = 1
+	p.Generations = 30
+	res := Evolve(p)
+	if len(res.Engines) != 2 || res.Engines[0] != "naive" || res.Engines[1] != "incremental" {
+		t.Fatalf("engines = %v, want [naive incremental]", res.Engines)
+	}
+	// The determinism guarantee: identical seeds, identical schedules.
+	if !res.Identical {
+		t.Error("incremental engine diverged from the naive one")
+	}
+	if res.Makespan[0] != res.Makespan[1] {
+		t.Errorf("makespans differ across engines: %v vs %v", res.Makespan[0], res.Makespan[1])
+	}
+	// The throughput claim (paper scale: batch 200, M 50, pop 20): at
+	// least 40% fewer full-chromosome-equivalent evaluations per
+	// generation.
+	if res.ReductionPct < 40 {
+		t.Errorf("reduction = %.1f%%, want >= 40%%", res.ReductionPct)
+	}
+	if res.ModelledMS[1] >= res.ModelledMS[0] {
+		t.Errorf("incremental modelled cost %v not below naive %v", res.ModelledMS[1], res.ModelledMS[0])
+	}
+	var sb strings.Builder
+	res.Table().Render(&sb)
+	res.WritePlot(&sb)
+	for _, want := range []string{"engine", "full-evals/gen", "incremental", "identical schedules: yes"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("evolve output missing %q", want)
+		}
+	}
+}

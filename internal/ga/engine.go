@@ -50,7 +50,10 @@ type Config struct {
 	// the increased computation cost").
 	MaxGenerations int
 	// CrossoverFraction is the fraction of the next population created
-	// by crossover of selected pairs (default 0.8).
+	// by crossover of selected pairs (default 0.8). Zero means "unset"
+	// (the default applies); any negative value disables crossover
+	// entirely — the sentinel that makes crossover-free operator
+	// ablations expressible.
 	CrossoverFraction float64
 	// Crossover selects the permutation crossover operator; nil uses
 	// the paper's cycle crossover (CX). PMX and OX are provided for
@@ -59,7 +62,9 @@ type Config struct {
 	// MutationsPerGeneration is how many random swap mutations are
 	// applied to randomly chosen individuals each generation
 	// (default 1, per the paper's singular "a randomly chosen
-	// individual").
+	// individual"). Zero means "unset" (the default applies); any
+	// negative value disables mutation entirely (the mutation-free
+	// ablation).
 	MutationsPerGeneration int
 	// Elitism preserves the best individual across generations
 	// (default true). The paper tracks "the individual with the lowest
@@ -94,11 +99,19 @@ func (c *Config) applyDefaults() {
 	if c.MaxGenerations == 0 {
 		c.MaxGenerations = 1000
 	}
-	if c.CrossoverFraction == 0 {
+	// Zero is "unset" (paper default); negative is the explicit
+	// disabled sentinel, resolved here to the operator-off value.
+	switch {
+	case c.CrossoverFraction == 0:
 		c.CrossoverFraction = 0.8
+	case c.CrossoverFraction < 0:
+		c.CrossoverFraction = 0
 	}
-	if c.MutationsPerGeneration == 0 {
+	switch {
+	case c.MutationsPerGeneration == 0:
 		c.MutationsPerGeneration = 1
+	case c.MutationsPerGeneration < 0:
+		c.MutationsPerGeneration = 0
 	}
 }
 
@@ -108,7 +121,19 @@ type Result struct {
 	BestFitness float64
 	Generations int
 	Reason      StopReason
-	Evaluations int // total fitness evaluations performed
+	// Evaluations is the number of fitness computations performed.
+	// With a SlotEvaluator, individuals whose fitness is known from
+	// provenance (roulette clones, the elitism reinsert) are not
+	// re-scored, so this is smaller than population × generations.
+	Evaluations int
+	// GenesEvaluated is the evaluation work in chromosome positions
+	// scanned: full evaluations charge the whole chromosome length,
+	// delta re-evaluations only the rescanned positions. When the
+	// evaluator implements GeneCounter the count is the evaluator's
+	// own (and includes work charged by hooks sharing it, such as the
+	// §3.5 rebalancer); otherwise it is evaluations × chromosome
+	// length.
+	GenesEvaluated int
 }
 
 // Engine exposes the generation loop of Run one step at a time, so
@@ -124,6 +149,7 @@ type Result struct {
 type Engine struct {
 	cfg     Config
 	eval    Evaluator
+	slots   SlotEvaluator // non-nil when eval tracks fitness provenance
 	r       *rng.RNG
 	pop     []Chromosome
 	next    []Chromosome
@@ -133,6 +159,7 @@ type Engine struct {
 	bestFitness float64
 	gen         int // completed generations
 	evals       int
+	genes       int // gene work accumulated for plain evaluators
 
 	done        bool
 	reason      StopReason
@@ -151,6 +178,7 @@ func NewEngine(cfg Config, eval Evaluator, initial []Chromosome, r *rng.RNG) *En
 		panic("ga: empty initial population")
 	}
 	e := &Engine{cfg: cfg, eval: eval, r: r}
+	e.slots, _ = eval.(SlotEvaluator)
 
 	// Working population: clone so callers keep their seeds.
 	pop := make([]Chromosome, len(initial))
@@ -167,10 +195,16 @@ func NewEngine(cfg Config, eval Evaluator, initial []Chromosome, r *rng.RNG) *En
 	e.pop = pop
 	e.fitness = make([]float64, len(pop))
 	e.next = make([]Chromosome, 0, len(pop))
+	if e.slots != nil {
+		e.slots.InitSlots(len(pop))
+	}
 
 	bestIdx := e.evaluate()
 	e.best = pop[bestIdx].Clone()
 	e.bestFitness = e.fitness[bestIdx]
+	if e.slots != nil {
+		e.slots.SaveBest(bestIdx)
+	}
 	if cfg.OnGeneration != nil {
 		cfg.OnGeneration(0, e.best, e.bestFitness)
 	}
@@ -181,16 +215,35 @@ func NewEngine(cfg Config, eval Evaluator, initial []Chromosome, r *rng.RNG) *En
 }
 
 // evaluate scores the whole population and returns the index of the
-// fittest individual.
+// fittest individual. With a slot evaluator, individuals whose fitness
+// is already known from provenance are served from cache.
 func (e *Engine) evaluate() (bestIdx int) {
 	for i, c := range e.pop {
-		e.fitness[i] = e.eval.Fitness(c)
-		e.evals++
+		e.fitness[i] = e.score(i, c)
 		if e.fitness[i] > e.fitness[bestIdx] {
 			bestIdx = i
 		}
 	}
 	return bestIdx
+}
+
+// score computes (or retrieves) the fitness of the individual in the
+// given population slot, maintaining the evaluation counters.
+func (e *Engine) score(slot int, c Chromosome) float64 {
+	if e.slots != nil {
+		f, computed := e.slots.FitnessSlot(slot, c)
+		if computed {
+			e.evals++
+			// Fallback ledger for slot evaluators without their own
+			// GeneCounter: a computed slot fitness is billed as one
+			// full evaluation.
+			e.genes += len(c)
+		}
+		return f
+	}
+	e.evals++
+	e.genes += len(c)
+	return e.eval.Fitness(c)
 }
 
 func (e *Engine) stop(generations int, reason StopReason) {
@@ -219,8 +272,12 @@ func (e *Engine) Step() bool {
 	}
 
 	n := len(e.pop)
+	if e.slots != nil {
+		e.slots.BeginGeneration()
+	}
 
-	// Crossover: pair roulette-selected parents.
+	// Crossover: pair roulette-selected parents. Children are fresh
+	// individuals — their fitness must be computed once, then cached.
 	next := e.next[:0]
 	pairs := int(float64(n) * e.cfg.CrossoverFraction / 2)
 	if pairs > 0 {
@@ -232,41 +289,79 @@ func (e *Engine) Step() bool {
 		for k := 0; k < pairs; k++ {
 			a, b := e.pop[parents[2*k]], e.pop[parents[2*k+1]]
 			c1, c2 := cross(a, b, e.r)
+			if e.slots != nil {
+				if len(next) < n {
+					e.slots.DeriveFresh(len(next))
+				}
+				if len(next)+1 < n {
+					e.slots.DeriveFresh(len(next) + 1)
+				}
+			}
 			next = append(next, c1, c2)
 		}
 	}
 	// Fill the remainder by roulette-cloning survivors (selection).
+	// Clones inherit their parent's known fitness.
 	if missing := n - len(next); missing > 0 {
 		for _, idx := range RouletteWheel(e.fitness, missing, e.r) {
+			if e.slots != nil && len(next) < n {
+				e.slots.DeriveClone(len(next), idx)
+			}
 			next = append(next, e.pop[idx].Clone())
 		}
 	}
 	next = next[:n]
 
-	// Random mutation on randomly chosen individuals.
-	mutate := e.cfg.Mutate
-	if mutate == nil {
-		mutate = SwapMutation
-	}
-	for k := 0; k < e.cfg.MutationsPerGeneration; k++ {
-		mutate(next[e.r.Intn(n)], e.r)
+	e.pop, e.next = next, e.pop
+	if e.slots != nil {
+		e.slots.CommitGeneration()
 	}
 
-	e.pop, e.next = next, e.pop
+	// Random mutation on randomly chosen individuals.
+	for k := 0; k < e.cfg.MutationsPerGeneration; k++ {
+		idx := e.r.Intn(n)
+		c := e.pop[idx]
+		if e.slots != nil && e.cfg.Mutate == nil {
+			// SwapMutation, unrolled only far enough that the swapped
+			// positions reach the slot evaluator for a delta update.
+			if len(c) >= 2 {
+				i, j := swapPositions(len(c), e.r)
+				c[i], c[j] = c[j], c[i]
+				e.slots.SwapAt(idx, c, i, j)
+			}
+			continue
+		}
+		mutate := e.cfg.Mutate
+		if mutate == nil {
+			mutate = SwapMutation
+		}
+		mutate(c, e.r)
+		if e.slots != nil {
+			e.slots.Invalidate(idx)
+		}
+	}
 
 	if e.cfg.PostGeneration != nil {
 		e.cfg.PostGeneration(e.pop, e.r)
 	}
 
-	// Elitism: reinsert the best-so-far over a random slot.
+	// Elitism: reinsert the best-so-far over a random slot, carrying
+	// its known fitness state.
 	if e.cfg.Elitism {
-		e.pop[e.r.Intn(n)] = e.best.Clone()
+		slot := e.r.Intn(n)
+		e.pop[slot] = e.best.Clone()
+		if e.slots != nil {
+			e.slots.RestoreBest(slot)
+		}
 	}
 
 	genBest := e.evaluate()
 	if e.fitness[genBest] > e.bestFitness {
 		e.bestFitness = e.fitness[genBest]
 		e.best = e.pop[genBest].Clone()
+		if e.slots != nil {
+			e.slots.SaveBest(genBest)
+		}
 	}
 	e.gen = gen
 	if e.cfg.OnGeneration != nil {
@@ -288,6 +383,15 @@ func (e *Engine) Generation() int { return e.gen }
 // Evaluations returns the total fitness evaluations performed so far.
 func (e *Engine) Evaluations() int { return e.evals }
 
+// GenesEvaluated returns the evaluation work performed so far, in
+// chromosome positions scanned (see Result.GenesEvaluated).
+func (e *Engine) GenesEvaluated() int {
+	if gc, ok := e.eval.(GeneCounter); ok {
+		return gc.GenesEvaluated()
+	}
+	return e.genes
+}
+
 // Best returns a clone of the best individual found so far and its
 // fitness.
 func (e *Engine) Best() (Chromosome, float64) {
@@ -302,11 +406,12 @@ func (e *Engine) Result() Result {
 		generations = e.gen
 	}
 	return Result{
-		Best:        e.best.Clone(),
-		BestFitness: e.bestFitness,
-		Generations: generations,
-		Reason:      e.reason,
-		Evaluations: e.evals,
+		Best:           e.best.Clone(),
+		BestFitness:    e.bestFitness,
+		Generations:    generations,
+		Reason:         e.reason,
+		Evaluations:    e.evals,
+		GenesEvaluated: e.GenesEvaluated(),
 	}
 }
 
@@ -360,11 +465,16 @@ func (e *Engine) Inject(migrants []Chromosome) {
 	for i, m := range migrants {
 		slot := idx[i]
 		e.pop[slot] = m.Clone()
-		e.fitness[slot] = e.eval.Fitness(m)
-		e.evals++
+		if e.slots != nil {
+			e.slots.Invalidate(slot)
+		}
+		e.fitness[slot] = e.score(slot, e.pop[slot])
 		if e.fitness[slot] > e.bestFitness {
 			e.bestFitness = e.fitness[slot]
 			e.best = e.pop[slot].Clone()
+			if e.slots != nil {
+				e.slots.SaveBest(slot)
+			}
 		}
 	}
 }

@@ -156,10 +156,20 @@ func SwapMutation(c Chromosome, r *rng.RNG) {
 	if n < 2 {
 		return
 	}
-	i := r.Intn(n)
-	j := r.Intn(n - 1)
+	i, j := swapPositions(n, r)
+	c[i], c[j] = c[j], c[i]
+}
+
+// swapPositions draws the two distinct positions SwapMutation
+// exchanges. The engine's slot-evaluator path performs the swap itself
+// (it must report the positions for a delta update), so the draw
+// scheme lives here, once, keeping both paths byte-identical. n must
+// be at least 2.
+func swapPositions(n int, r *rng.RNG) (i, j int) {
+	i = r.Intn(n)
+	j = r.Intn(n - 1)
 	if j >= i {
 		j++
 	}
-	c[i], c[j] = c[j], c[i]
+	return i, j
 }

@@ -31,20 +31,26 @@
 // Stop callback fires, or the caller's context is cancelled, every
 // other island is cancelled promptly through a shared context polled
 // once per generation; when any island reaches the target fitness the
-// run winds down at the next barrier. The overall Reason is the most
-// decisive one observed: target, then callback, then the cap.
+// run winds down at the next barrier. A Setup.LocalStop, by contrast,
+// stops only its own island (the §3.4 per-island evaluation budget
+// uses it: each island runs on its own core and exhausts the budget at
+// its own pace); once a locally stopped island is observed at a round
+// barrier the remaining islands run on to their own stop conditions
+// and the round loop ends. The overall Reason is the most decisive one
+// observed: target, then callback, then the cap.
 //
 // # Determinism
 //
 // Island i draws every random decision from r.Stream(i+1), and rounds
-// are barrier-synchronised, so a run that terminates by generation cap
-// or target fitness is fully deterministic for a fixed island count:
-// same seed + same Islands → byte-identical best individual, whatever
-// the goroutine scheduling. Determinism is per-N — changing the island
-// count changes the stream assignment and the ring, and therefore the
-// result, just as changing the population size changes the sequential
-// engine's. A run aborted by the Stop callback or context cancellation
-// stops at a wall-clock-dependent generation (that is the point of the
+// are barrier-synchronised, so a run that terminates by generation cap,
+// target fitness or LocalStop (the evaluation budget) is fully
+// deterministic for a fixed island count: same seed + same Islands →
+// byte-identical best individual, whatever the goroutine scheduling.
+// Determinism is per-N — changing the island count changes the stream
+// assignment and the ring, and therefore the result, just as changing
+// the population size changes the sequential engine's. A run aborted by
+// the broadcast Stop callback or context cancellation stops at a
+// wall-clock-dependent generation (that is the point of the
 // idle-processor abort), so only the fitness trajectory up to the abort
 // is reproducible, not the stopping point.
 package island

@@ -56,12 +56,24 @@ func (c *Config) applyDefaults() {
 	if c.MigrationInterval < 1 {
 		c.MigrationInterval = DefaultMigrationInterval
 	}
-	if c.Migrants == 0 {
-		c.Migrants = DefaultMigrants
+	c.Migrants = c.MigrantsPerExchange()
+}
+
+// MigrantsPerExchange returns the migrant count Run will use after
+// defaulting — 0 selects DefaultMigrants, negative values disable
+// migration — before the per-island clamp to the population size
+// (Elites/Inject apply that). Exported so callers budgeting for
+// migration work (core.EvolveIsland reserves one full evaluation per
+// injected migrant) share this resolution rather than re-implementing
+// it.
+func (c Config) MigrantsPerExchange() int {
+	switch {
+	case c.Migrants == 0:
+		return DefaultMigrants
+	case c.Migrants < 0:
+		return 0
 	}
-	if c.Migrants < 0 {
-		c.Migrants = 0
-	}
+	return c.Migrants
 }
 
 // Setup is one island's engine inputs, built by the setup callback
@@ -77,6 +89,15 @@ type Setup struct {
 	Eval ga.Evaluator
 	// Initial seeds this island's population.
 	Initial []ga.Chromosome
+	// LocalStop, when non-nil, is polled like GA.Stop but stops only
+	// this island: unlike GA.Stop (whose firing cancels every other
+	// island at a wall-clock-dependent point), a local stop never
+	// cancels peers, so runs terminated by it remain deterministic in
+	// (seed, N). The §3.4 per-island evaluation budget uses it — each
+	// island runs on its own core and exhausts the budget at its own
+	// deterministic generation. Islands already stopped locally still
+	// end the whole run at the next round barrier.
+	LocalStop func(gen int, bestFitness float64) bool
 }
 
 // Result reports a finished island run.
@@ -94,6 +115,9 @@ type Result struct {
 	Migrated int
 	// Evaluations sums fitness evaluations across all islands.
 	Evaluations int
+	// GenesEvaluated sums evaluation work (chromosome positions
+	// scanned) across all islands; per-island ledgers are in Islands.
+	GenesEvaluated int
 	// Reason is the most decisive per-island stop reason: target, then
 	// callback, then the generation cap.
 	Reason ga.StopReason
@@ -162,11 +186,15 @@ func Run(ctx context.Context, cfg Config, setup func(island int, r *rng.RNG) Set
 		ri := r.Stream(uint64(i) + 1)
 		s := setup(i, ri)
 		gaCfg := s.GA
-		userStop := gaCfg.Stop
+		userStop, localStop := gaCfg.Stop, s.LocalStop
 		// Wrap the island's stop condition: a cancelled context stops
-		// this island, and this island's own stop cancels the rest.
+		// this island, a LocalStop stops only this island, and this
+		// island's own GA.Stop cancels the rest.
 		gaCfg.Stop = func(gen int, bestFitness float64) bool {
 			if ctx.Err() != nil {
+				return true
+			}
+			if localStop != nil && localStop(gen, bestFitness) {
 				return true
 			}
 			if userStop != nil && userStop(gen, bestFitness) {
@@ -277,6 +305,7 @@ func Run(ctx context.Context, cfg Config, setup func(island int, r *rng.RNG) Set
 		ir := e.Result()
 		res.Islands[i] = ir
 		res.Evaluations += ir.Evaluations
+		res.GenesEvaluated += ir.GenesEvaluated
 		// Escalate to the most decisive reason across islands.
 		if ir.Reason == ga.StopCallback && res.Reason == ga.StopMaxGenerations {
 			res.Reason = ga.StopCallback
