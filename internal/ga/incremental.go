@@ -1,0 +1,96 @@
+package ga
+
+// This file defines the optional evaluator extensions behind the
+// incremental fitness engine. The generation loop derives most of each
+// new population from individuals it has already scored — roulette-
+// cloned survivors are copies, the elitism reinsert is the best-so-far,
+// and a swap mutant differs from its base by exactly two positions —
+// yet a plain Evaluator forces the engine to re-score everything from
+// scratch every generation. A SlotEvaluator receives that provenance
+// instead: the engine tells it how every slot of the next population
+// was derived, and the evaluator keeps whatever per-slot cached state
+// (completion-time vectors, in internal/core) lets it serve known
+// fitness values without recomputing and re-score mutants by delta.
+//
+// The contract is strictly observational: a SlotEvaluator must return
+// bit-identical fitness values to what Fitness would compute on the
+// same chromosome, so an engine driven by one produces byte-identical
+// populations, best individuals and fitness trajectories to an engine
+// driven by a plain Evaluator (the equivalence is asserted by tests in
+// internal/core). Only the amount of evaluation work differs, which is
+// why GeneCounter exists: the §3.4 budget model wants the genes
+// actually evaluated, not the number of Fitness calls.
+
+// SlotEvaluator is an optional Evaluator extension for engines that
+// track fitness provenance. NewEngine detects it with a type assertion
+// and, when present, drives the slot protocol around the generation
+// loop:
+//
+//   - InitSlots(n) once, before the initial population is scored;
+//   - each generation: BeginGeneration, then DeriveFresh(dst) for
+//     every crossover child and DeriveClone(dst, src) for every
+//     roulette-cloned survivor, then CommitGeneration when the new
+//     population replaces the old one;
+//   - SwapAt after the default swap mutation (the two exchanged
+//     positions are known), Invalidate after an opaque edit (a custom
+//     Mutate hook, an injected migrant);
+//   - RestoreBest when elitism reinserts the best-so-far, SaveBest
+//     whenever a slot's individual becomes the new best-so-far;
+//   - FitnessSlot for every slot at evaluation time.
+//
+// The PostGeneration hook runs between CommitGeneration and the
+// elitism reinsert; hook implementations that edit individuals in
+// place must keep the evaluator's slot state coherent themselves
+// (internal/core's rebalancer shares the evaluator object and updates
+// it directly) or call Invalidate.
+//
+// A SlotEvaluator instance belongs to exactly one Engine: slot indices
+// are engine population slots.
+type SlotEvaluator interface {
+	Evaluator
+
+	// InitSlots sizes the per-slot cache for a population of n.
+	InitSlots(n int)
+	// BeginGeneration opens the next generation's slot buffer.
+	BeginGeneration()
+	// DeriveFresh marks next-generation slot dst as a brand-new
+	// individual (a crossover child) with no usable cached state.
+	DeriveFresh(dst int)
+	// DeriveClone marks next-generation slot dst as a copy of current
+	// slot src, inheriting src's cached fitness state.
+	DeriveClone(dst, src int)
+	// CommitGeneration replaces the current generation's slot state
+	// with the one built since BeginGeneration.
+	CommitGeneration()
+
+	// SwapAt records that positions i and j of slot's chromosome were
+	// exchanged (c is the chromosome after the swap), letting the
+	// evaluator delta-update cached state instead of discarding it.
+	SwapAt(slot int, c Chromosome, i, j int)
+	// Invalidate discards slot's cached state after an opaque edit.
+	Invalidate(slot int)
+
+	// FitnessSlot scores the chromosome occupying slot. It must return
+	// exactly the value Fitness(c) would; computed reports whether any
+	// evaluation work was performed (false: served from cache).
+	FitnessSlot(slot int, c Chromosome) (fitness float64, computed bool)
+
+	// SaveBest snapshots slot's cached state as the best-so-far, and
+	// RestoreBest installs that snapshot back into a slot (the elitism
+	// reinsert). SaveBest is called only for slots FitnessSlot has just
+	// scored.
+	SaveBest(slot int)
+	RestoreBest(slot int)
+}
+
+// GeneCounter is an optional Evaluator extension reporting evaluation
+// work in genes (chromosome positions scanned): a full evaluation of a
+// length-L chromosome costs L genes, a delta re-evaluation only the
+// positions actually rescanned. Engines surface it as
+// Result.GenesEvaluated so cost models can charge actual work rather
+// than call counts. The count is cumulative over the evaluator's
+// lifetime and includes work charged by hooks sharing the evaluator
+// (e.g. the §3.5 rebalancer).
+type GeneCounter interface {
+	GenesEvaluated() int
+}
