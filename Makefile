@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint bench bench-smoke ci
+.PHONY: build test lint apicheck bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
+
+# The public-API layering gate: vet plus the assertion that no cmd/ or
+# examples/ package imports the GA internals (internal/core,
+# internal/ga) directly — everything constructs schedulers through the
+# pnsched registry.
+apicheck:
+	$(GO) vet ./...
+	sh scripts/apicheck.sh
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -32,4 +40,4 @@ bench-smoke:
 	$(GO) run ./cmd/pnbench -figure island -profile fast -json BENCH_island.json
 	$(GO) run ./cmd/pnbench -figure evolve -profile fast -json BENCH_evolve.json
 
-ci: build lint test bench bench-smoke
+ci: build lint apicheck test bench bench-smoke

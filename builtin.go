@@ -1,0 +1,39 @@
+package pnsched
+
+import (
+	"pnsched/internal/core"
+	"pnsched/internal/sched"
+)
+
+// islandName is the canonical registry name of the island-model PN
+// scheduler ("pn-island" in scenario files resolves to it
+// case-insensitively).
+const islandName = "PN-ISLAND"
+
+// PaperOrder is the presentation order of the paper's §4 bar charts:
+// the seven comparison schedulers of §4.1.
+var PaperOrder = []string{"EF", "LL", "RR", "ZO", "PN", "MM", "MX"}
+
+// The built-in schedulers self-register in the paper's presentation
+// order, then PN-ISLAND, then the Maheswaran et al. heuristics of the
+// extended comparison — so Names() reads like the paper's tables.
+func init() {
+	Register("EF", func(Spec, *RNG) (Scheduler, error) { return sched.EF{}, nil })
+	Register("LL", func(Spec, *RNG) (Scheduler, error) { return sched.LL{}, nil })
+	Register("RR", func(Spec, *RNG) (Scheduler, error) { return &sched.RR{}, nil })
+	Register("ZO", func(s Spec, r *RNG) (Scheduler, error) {
+		return core.NewZO(s.gaConfig(), r), nil
+	})
+	Register("PN", func(s Spec, r *RNG) (Scheduler, error) {
+		return core.NewPN(s.gaConfig(), r), nil
+	})
+	Register("MM", func(Spec, *RNG) (Scheduler, error) { return sched.MM{}, nil })
+	Register("MX", func(Spec, *RNG) (Scheduler, error) { return sched.MX{}, nil })
+	Register(islandName, func(s Spec, r *RNG) (Scheduler, error) {
+		return core.NewPNIsland(s.gaConfig(), s.islandConfig(), r), nil
+	})
+	Register("MET", func(Spec, *RNG) (Scheduler, error) { return sched.MET{}, nil })
+	Register("OLB", func(Spec, *RNG) (Scheduler, error) { return sched.OLB{}, nil })
+	Register("KPB", func(s Spec, _ *RNG) (Scheduler, error) { return sched.KPB{K: s.K}, nil })
+	Register("SUF", func(Spec, *RNG) (Scheduler, error) { return sched.Sufferage{}, nil })
+}

@@ -18,7 +18,7 @@ import (
 	"os"
 	"time"
 
-	"pnsched/internal/core"
+	"pnsched"
 	"pnsched/internal/dist"
 	"pnsched/internal/rng"
 	"pnsched/internal/sched"
@@ -63,23 +63,43 @@ func main() {
 		fatal(fmt.Errorf("empty workload: nothing to schedule"))
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.Generations = *gens
-	cfg.InitialBatch = *batch
-	cfg.FixedBatch = !*dynamic
-
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	var scheduler sched.Batch = core.NewPN(cfg, rng.New(*seed).Stream(1))
+	// Lower the flags onto the same public Spec scenario files and
+	// library callers use; -islands != 0 selects the island-model
+	// variant from the registry.
+	opts := []pnsched.Option{
+		pnsched.WithGenerations(*gens),
+		pnsched.WithBatch(*batch),
+		pnsched.WithDynamicBatch(*dynamic),
+		pnsched.WithRNG(rng.New(*seed).Stream(1)),
+	}
+	name := "PN"
 	if *islands != 0 {
-		icfg := core.IslandConfig{
-			Islands:           *islands, // negative selects one per CPU
-			MigrationInterval: *interval,
-			Migrants:          *migrants,
+		name = "PN-ISLAND"
+		if *islands > 0 {
+			opts = append(opts, pnsched.WithIslands(*islands))
 		}
-		scheduler = core.NewPNIsland(cfg, icfg, rng.New(*seed).Stream(1))
+		if *interval > 0 {
+			opts = append(opts, pnsched.WithMigrationInterval(*interval))
+		}
+		if *migrants > 0 {
+			opts = append(opts, pnsched.WithMigrants(*migrants))
+		}
+	}
+	spec, err := pnsched.NewSpec(name, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	schd, err := pnsched.New(spec)
+	if err != nil {
+		fatal(err)
+	}
+	scheduler, ok := schd.(sched.Batch)
+	if !ok {
+		fatal(fmt.Errorf("scheduler %s is not batch-mode", schd.Name()))
 	}
 	srv, err := dist.NewServer(dist.ServerConfig{
 		Scheduler: scheduler,

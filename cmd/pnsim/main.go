@@ -20,13 +20,12 @@ import (
 	"io"
 	"os"
 
+	"pnsched"
 	"pnsched/internal/cluster"
-	"pnsched/internal/core"
 	"pnsched/internal/metrics"
 	"pnsched/internal/network"
 	"pnsched/internal/rng"
 	"pnsched/internal/scenario"
-	"pnsched/internal/sched"
 	"pnsched/internal/sim"
 	"pnsched/internal/task"
 	"pnsched/internal/units"
@@ -35,7 +34,7 @@ import (
 
 func main() {
 	var (
-		schedName = flag.String("sched", "PN", "scheduler: EF, LL, RR, ZO, PN, MM, MX, or 'all'")
+		schedName = flag.String("sched", "PN", "scheduler (case-insensitive registry name, e.g. PN, pn-island, ef) or 'all' for the paper's seven")
 		nTasks    = flag.Int("tasks", 1000, "number of tasks")
 		procs     = flag.Int("procs", 50, "number of processors")
 		rateLo    = flag.Float64("rate-lo", 10, "minimum processor rate (Mflop/s)")
@@ -85,7 +84,17 @@ func main() {
 
 	names := []string{*schedName}
 	if *schedName == "all" {
-		names = []string{"EF", "LL", "RR", "ZO", "PN", "MM", "MX"}
+		// Copy: the canonicalization below writes into names, and the
+		// exported PaperOrder slice must not be mutated.
+		names = append([]string(nil), pnsched.PaperOrder...)
+	}
+	for i, name := range names {
+		// Result tables show the canonical registry name whatever the
+		// casing on the command line; unknown names error in the loop
+		// below with the full registry listing.
+		if c, ok := pnsched.Canonical(name); ok {
+			names[i] = c
+		}
 	}
 
 	tbl := metrics.Table{
@@ -99,16 +108,17 @@ func main() {
 			LinkSpread: *spread,
 			Jitter:     *jitter,
 		}, rng.New(*seed).Stream(3))
-		s, err := schedByName(name, *gens, *batch, *dynamic, *seed)
+		spec := pnsched.Spec{
+			Name:         name,
+			Generations:  *gens,
+			Batch:        *batch,
+			DynamicBatch: *dynamic,
+		}
+		s, err := pnsched.New(spec.With(pnsched.WithRNG(rng.New(*seed).Stream(4))))
 		if err != nil {
 			fatal(err)
 		}
-		cfg := sim.Config{Cluster: clu, Net: net, Tasks: tasks, Scheduler: s}
-		if b, ok := s.(sched.Batch); ok {
-			if _, sizes := s.(sched.BatchSizer); !sizes {
-				cfg.BatchSizer = sched.FixedBatch{Batch: b, Size: *batch}
-			}
-		}
+		cfg := sim.Config{Cluster: clu, Net: net, Tasks: tasks, Scheduler: s, BatchSizer: pnsched.SizerFor(s, spec)}
 		var tl *sim.Timeline
 		if *gantt {
 			tl = sim.NewTimeline(*procs)
@@ -175,31 +185,6 @@ func distByName(name string, mean, variance, lo, hi float64) (workload.SizeDistr
 		return workload.Constant{Size: units.MFlops(mean)}, nil
 	default:
 		return nil, fmt.Errorf("unknown distribution %q", name)
-	}
-}
-
-func schedByName(name string, gens, batch int, dynamic bool, seed uint64) (sched.Scheduler, error) {
-	cfg := core.DefaultConfig()
-	cfg.Generations = gens
-	cfg.InitialBatch = batch
-	cfg.FixedBatch = !dynamic
-	switch name {
-	case "EF":
-		return sched.EF{}, nil
-	case "LL":
-		return sched.LL{}, nil
-	case "RR":
-		return &sched.RR{}, nil
-	case "MM":
-		return sched.MM{}, nil
-	case "MX":
-		return sched.MX{}, nil
-	case "PN":
-		return core.NewPN(cfg, rng.New(seed).Stream(4)), nil
-	case "ZO":
-		return core.NewZO(cfg, rng.New(seed).Stream(4)), nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", name)
 	}
 }
 

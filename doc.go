@@ -1,48 +1,66 @@
-// Package pnsched reproduces "Dynamic task scheduling using genetic
-// algorithms for heterogeneous distributed computing" (Page & Naughton,
-// IPPS/IPDPS 2005): the PN dynamic batch-mode GA scheduler — in its
-// sequential form and as a parallel island model (internal/island,
-// core.PNIsland) that evolves one population per CPU with ring
-// migration of elites — the six comparison schedulers of §4.1 (EF, LL,
-// RR, MM, MX, ZO), a discrete-event simulator of the heterogeneous
-// distributed system the paper evaluates on, a live TCP
-// scheduler/worker runtime, and a benchmark harness that regenerates
-// every figure of the evaluation plus supplementary studies.
+// Package pnsched is the public library API of this reproduction of
+// "Dynamic task scheduling using genetic algorithms for heterogeneous
+// distributed computing" (Page & Naughton, IPPS/IPDPS 2005). It is the
+// single construction and execution surface for every scheduler and
+// runtime in the repo, in three parts:
 //
-// The GA's evaluation layer is incremental (core.IncrementalEvaluator
-// + ga.SlotEvaluator): each individual carries a cached per-processor
-// completion-time vector, fitness provenance flows through the
-// generation loop so clones and the reinserted elite are never
-// re-scored, and swap mutations and §3.5 rebalance moves re-derive
-// only the two affected queues. For a fixed seed the incremental
-// engine is byte-identical to naive full re-evaluation (its
-// determinism guarantee, property-tested in internal/core) while
-// evaluating ~70% fewer genes per generation at the paper's scale;
-// engines report genes evaluated and the §3.4 stop-when-idle budget
-// bills that same ledger, so modelled scheduler cost can no longer
-// overrun the time-to-first-idle budget. See README.md "Performance".
+// # Scheduler registry
 //
-// Start with README.md for the layout, the island-model overview, the
-// pnserver/pnworker deployment topology, and the wire protocol
-// (specified in full in internal/dist/doc.go). The runnable entry
-// points are:
+// Every scheduler self-registers under a case-insensitive name:
+// the paper's seven comparators (EF, LL, RR, ZO, PN, MM, MX), the
+// island-model variant PN-ISLAND, and the Maheswaran et al. heuristics
+// of the extended study (MET, OLB, KPB, SUF). Names lists them, New
+// constructs one from a Spec, and Register adds external schedulers —
+// reachable from every surface that consumes specs (pnsim -sched,
+// scenario JSON files, the experiments harness).
+//
+// # Functional-options Spec
+//
+// Spec subsumes the GA configuration (core.Config), the island-model
+// setup, and the scheduler block of scenario JSON files; it validates
+// centrally and round-trips through encoding/json, so the same value
+// backs library calls, CLI flags and scenario files:
+//
+//	spec, err := pnsched.NewSpec("PN-ISLAND",
+//	    pnsched.WithGenerations(500),
+//	    pnsched.WithIslands(4),
+//	    pnsched.WithSeed(42))
+//
+// # Unified run API
+//
+// Run drives a Workload (cluster + network + tasks; GenerateWorkload
+// builds the paper's synthetic systems) through the discrete-event
+// simulator and returns its metrics. A typed Observer — batch
+// decided, generation best-makespan, island migration, dispatch,
+// budget stop — watches any run; the same interface is emitted by the
+// live TCP runtime (internal/dist), so instrumentation written against
+// it works unchanged on simulated and real deployments:
+//
+//	w, _ := pnsched.GenerateWorkload(pnsched.WorkloadConfig{Tasks: 500, Procs: 16, Seed: 7})
+//	res, err := pnsched.Run(ctx, spec, w,
+//	    pnsched.Observe(pnsched.ObserverFuncs{
+//	        BatchDecided: func(e pnsched.BatchDecision) { log.Println(e.Tasks, e.Cost) },
+//	    }))
+//
+// Underneath sit the internal packages: the GA engine with incremental
+// fitness evaluation (internal/ga, internal/core), the parallel island
+// model (internal/island), the discrete-event simulator
+// (internal/sim), the live scheduler/worker runtime (internal/dist),
+// and the figure-regeneration harness (internal/experiments). See
+// README.md for the layout, the wire protocol, and the performance
+// notes. The runnable entry points are:
 //
 //	cmd/pnbench    — regenerate paper figures 3–11 and the
-//	                 supplementary experiments (extended, scalability,
-//	                 dynamic, island, evolve); -json writes
+//	                 supplementary experiments; -json writes
 //	                 machine-readable results
 //	cmd/pnsim      — run a single scheduling simulation
+//	                 (-sched <name> from the registry, -scenario file)
 //	cmd/pnworkload — generate task-set files
-//	cmd/pnserver   — live TCP scheduling server (PN, internal/dist;
-//	                 -islands opts into the island-model GA)
+//	cmd/pnserver   — live TCP scheduling server
 //	cmd/pnworker   — live worker client (Linpack-rated)
-//	examples/*     — annotated programs against the library API;
-//	                 examples/distributed runs the full server/worker
-//	                 topology over loopback with compressed time, and
-//	                 examples/island compares sequential and island
-//	                 scheduling at an equal wall-clock budget
+//	examples/*     — annotated programs against the public API
 //
 // Build and test with the Makefile (make ci mirrors the GitHub Actions
-// workflow): go build ./..., go vet, gofmt, go test -race ./..., and a
-// benchmark smoke pass.
+// workflow): go build, vet + gofmt, the apicheck layering gate, go
+// test -race, and a benchmark smoke pass.
 package pnsched

@@ -9,17 +9,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"pnsched/internal/cluster"
-	"pnsched/internal/core"
+	"pnsched"
 	"pnsched/internal/metrics"
-	"pnsched/internal/network"
-	"pnsched/internal/rng"
-	"pnsched/internal/sched"
-	"pnsched/internal/sim"
-	"pnsched/internal/workload"
 )
 
 func main() {
@@ -29,51 +24,37 @@ func main() {
 		seed   = 7
 	)
 
-	// The Fig-5 workload: normal task sizes, mean 1000 MFLOPs,
-	// variance 9×10⁵, all arriving at t=0.
-	tasks := workload.Generate(workload.Spec{
-		N:     nTasks,
-		Sizes: workload.Normal{Mean: 1000, Variance: 9e5},
-	}, rng.New(seed))
-
-	gaCfg := core.DefaultConfig()
-	gaCfg.FixedBatch = true
-
-	schedulers := []struct {
-		name string
-		mk   func() sched.Scheduler
-	}{
-		{"EF", func() sched.Scheduler { return sched.EF{} }},
-		{"LL", func() sched.Scheduler { return sched.LL{} }},
-		{"RR", func() sched.Scheduler { return &sched.RR{} }},
-		{"ZO", func() sched.Scheduler { return core.NewZO(gaCfg, rng.New(seed+1)) }},
-		{"PN", func() sched.Scheduler { return core.NewPN(gaCfg, rng.New(seed+1)) }},
-		{"MM", func() sched.Scheduler { return sched.MM{} }},
-		{"MX", func() sched.Scheduler { return sched.MX{} }},
-	}
-
 	tbl := metrics.Table{
 		Title:  fmt.Sprintf("%d tasks, %d heterogeneous processors (10-100 Mflop/s), mean comm 10s", nTasks, procs),
 		Header: []string{"scheduler", "makespan", "efficiency", "scheduler-busy"},
 	}
-	for _, s := range schedulers {
-		// Every scheduler sees the identical cluster and network.
-		clu := cluster.NewHeterogeneous(procs, 10, 100, rng.New(seed).Stream(1))
-		net := network.New(procs, network.Config{
-			MeanCost: 10, LinkSpread: 0.3, Jitter: 0.2,
-		}, rng.New(seed).Stream(2))
-		inst := s.mk()
-		cfg := sim.Config{Cluster: clu, Net: net, Tasks: tasks, Scheduler: inst}
-		if b, ok := inst.(sched.Batch); ok {
-			if _, own := inst.(sched.BatchSizer); !own {
-				cfg.BatchSizer = sched.FixedBatch{Batch: b, Size: 200}
-			}
+	for _, name := range pnsched.PaperOrder {
+		// Every scheduler sees the identical cluster, network and task
+		// set: GenerateWorkload is deterministic in its seed.
+		w, err := pnsched.GenerateWorkload(pnsched.WorkloadConfig{
+			Tasks: nTasks,
+			Procs: procs,
+			// The Fig-5 workload: normal task sizes, mean 1000 MFLOPs.
+			Sizes:      pnsched.Normal{Mean: 1000, Variance: 9e5},
+			MeanComm:   10,
+			LinkSpread: 0.3,
+			Jitter:     0.2,
+			Seed:       seed,
+		})
+		if err != nil {
+			fatal(err)
 		}
-		res := sim.Run(cfg)
+		spec := pnsched.MustSpec(name,
+			pnsched.WithBatch(200),
+			pnsched.WithSeed(seed+1))
+		res, err := pnsched.Run(context.Background(), spec, w)
+		if err != nil {
+			fatal(err)
+		}
 		if res.Completed != nTasks {
-			fmt.Fprintf(os.Stderr, "%s lost tasks: %d/%d\n", s.name, res.Completed, nTasks)
+			fmt.Fprintf(os.Stderr, "%s lost tasks: %d/%d\n", name, res.Completed, nTasks)
 		}
-		tbl.AddRow(s.name, res.Makespan, res.Efficiency, res.SchedulerBusy)
+		tbl.AddRow(name, res.Makespan, res.Efficiency, res.SchedulerBusy)
 	}
 	tbl.Render(os.Stdout)
 
@@ -81,4 +62,9 @@ func main() {
 	fmt.Println("PN predicts per-link communication costs from smoothed history (§3.6),")
 	fmt.Println("so it avoids expensive links before paying for them; the heuristics")
 	fmt.Println("only feel communication costs after the fact.")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "comparison:", err)
+	os.Exit(1)
 }

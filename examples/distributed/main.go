@@ -18,20 +18,29 @@ import (
 	"sync"
 	"time"
 
-	"pnsched/internal/core"
+	"pnsched"
 	"pnsched/internal/dist"
-	"pnsched/internal/rng"
 	"pnsched/internal/task"
 	"pnsched/internal/units"
 	"pnsched/internal/workload"
 )
 
 func main() {
-	cfg := core.DefaultConfig()
-	cfg.Generations = 300
+	// The scheduler comes from the public registry; the live server
+	// emits the same typed Observer events as the simulator.
+	scheduler := pnsched.MustNew(pnsched.MustSpec("PN",
+		pnsched.WithGenerations(300),
+		pnsched.WithDynamicBatch(true),
+		pnsched.WithSeed(1)))
 	srv, err := dist.NewServer(dist.ServerConfig{
-		Scheduler: core.NewPN(cfg, rng.New(1)),
+		Scheduler: scheduler.(pnsched.BatchScheduler),
 		Logf:      log.Printf,
+		Observer: pnsched.ObserverFuncs{
+			BatchDecided: func(e pnsched.BatchDecision) {
+				log.Printf("observer: batch %d → %d tasks over %d workers (cost %v)",
+					e.Invocation, e.Tasks, e.Procs, e.Cost)
+			},
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -74,7 +83,7 @@ func main() {
 	tasks := workload.Generate(workload.Spec{
 		N:     400,
 		Sizes: workload.Normal{Mean: 1000, Variance: 9e5},
-	}, rng.New(2))
+	}, pnsched.NewRNG(2))
 	var total units.MFlops
 	for _, t := range tasks {
 		total += t.Size

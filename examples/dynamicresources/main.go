@@ -4,9 +4,12 @@
 // cost varies over time, with tasks arriving continuously rather than
 // all at once.
 //
-// The example runs PN and EF through the same turbulent scenario and
-// shows PN completing the workload sooner while the simulator's
-// failure-recovery reissues the dead machine's tasks.
+// The example runs PN and two heuristics through the same turbulent
+// scenario via the public pnsched API and shows PN completing the
+// workload sooner while the simulator's failure-recovery reissues the
+// dead machine's tasks. The availability models come from
+// internal/cluster — the one piece of this scenario the synthetic
+// GenerateWorkload helper doesn't cover.
 //
 // Run with:
 //
@@ -14,16 +17,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
+	"pnsched"
 	"pnsched/internal/cluster"
-	"pnsched/internal/core"
-	"pnsched/internal/metrics"
-	"pnsched/internal/network"
-	"pnsched/internal/rng"
-	"pnsched/internal/sched"
-	"pnsched/internal/sim"
-	"pnsched/internal/units"
 	"pnsched/internal/workload"
 )
 
@@ -33,9 +31,9 @@ const (
 	seed   = 11
 )
 
-func turbulentCluster() *cluster.Cluster {
-	base := cluster.NewHeterogeneous(procs, 20, 200, rng.New(seed).Stream(1))
-	walkSeeds := rng.New(seed).Stream(2)
+func turbulentCluster() *pnsched.Cluster {
+	base := pnsched.NewHeterogeneousCluster(procs, 20, 200, pnsched.NewRNG(seed).Stream(1))
+	walkSeeds := pnsched.NewRNG(seed).Stream(2)
 	return base.WithAvailability(func(i int) cluster.AvailabilityModel {
 		switch {
 		case i == 3:
@@ -54,28 +52,28 @@ func turbulentCluster() *cluster.Cluster {
 	})
 }
 
-func run(name string, s sched.Scheduler) {
-	clu := turbulentCluster()
-	net := network.New(procs, network.Config{
-		MeanCost:   2,
-		LinkSpread: 0.5,
-		Jitter:     0.3,
-		DriftSigma: 0.02, // link quality wanders over time
-	}, rng.New(seed).Stream(3))
-	// Tasks trickle in: Poisson arrivals, one every ~0.5s on average.
-	tasks := workload.Generate(workload.Spec{
-		N:       nTasks,
-		Sizes:   workload.Uniform{Lo: 50, Hi: 2000},
-		Arrival: workload.PoissonArrivals{MeanGap: 0.5},
-	}, rng.New(seed).Stream(4))
-
-	res := sim.Run(sim.Config{
-		Cluster:        clu,
-		Net:            net,
-		Tasks:          tasks,
-		Scheduler:      s,
+func run(spec pnsched.Spec) {
+	w := pnsched.Workload{
+		Cluster: turbulentCluster(),
+		Network: pnsched.NewNetwork(procs, pnsched.NetworkConfig{
+			MeanCost:   2,
+			LinkSpread: 0.5,
+			Jitter:     0.3,
+			DriftSigma: 0.02, // link quality wanders over time
+		}, pnsched.NewRNG(seed).Stream(3)),
+		// Tasks trickle in: Poisson arrivals, one every ~0.5s on average.
+		Tasks: workload.Generate(workload.Spec{
+			N:       nTasks,
+			Sizes:   pnsched.Uniform{Lo: 50, Hi: 2000},
+			Arrival: workload.PoissonArrivals{MeanGap: 0.5},
+		}, pnsched.NewRNG(seed).Stream(4)),
 		ReissueTimeout: 60, // recover tasks stranded on the dead machine
-	})
+	}
+
+	res, err := pnsched.Run(context.Background(), spec, w)
+	if err != nil {
+		panic(err)
+	}
 
 	dead := 0
 	for _, p := range res.Procs {
@@ -84,7 +82,7 @@ func run(name string, s sched.Scheduler) {
 		}
 	}
 	fmt.Printf("%-3s makespan %8.1fs  efficiency %.3f  completed %d/%d  reissued %d  dead procs %d\n",
-		name, float64(res.Makespan), res.Efficiency, res.Completed, nTasks, res.Reissued, dead)
+		spec.Name, float64(res.Makespan), res.Efficiency, res.Completed, nTasks, res.Reissued, dead)
 }
 
 func main() {
@@ -92,15 +90,14 @@ func main() {
 	fmt.Println("machine 3 powers off at t=120s; link costs drift.")
 	fmt.Println()
 
-	cfg := core.DefaultConfig()
-	cfg.Generations = 300
-	run("PN", core.NewPN(cfg, rng.New(seed).Stream(5)))
-	run("EF", sched.EF{})
-	run("RR", &sched.RR{})
+	run(pnsched.MustSpec("PN",
+		pnsched.WithGenerations(300),
+		pnsched.WithDynamicBatch(true), // size batches with the §3.7 rule
+		pnsched.WithRNG(pnsched.NewRNG(seed).Stream(5))))
+	run(pnsched.MustSpec("EF"))
+	run(pnsched.MustSpec("RR"))
 
 	fmt.Println()
 	fmt.Println("The scheduler-side queues mean the dead machine strands only its")
 	fmt.Println("in-flight work; everything else is redistributed (Reissued column).")
-	_ = metrics.Sample{}
-	_ = units.Seconds(0)
 }

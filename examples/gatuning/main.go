@@ -1,7 +1,8 @@
 // Gatuning: explore the GA design choices the paper fixes — micro-GA
 // population size (20), rebalances per generation (1), and the
-// generation cap (1000) — on a single batch-scheduling problem, and
-// print the quality/cost trade-off each choice buys.
+// generation cap (1000) — through the public pnsched API, and print
+// the quality/cost trade-off each choice buys on the same simulated
+// system.
 //
 // Run with:
 //
@@ -9,57 +10,50 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
 
-	"pnsched/internal/core"
+	"pnsched"
 	"pnsched/internal/metrics"
-	"pnsched/internal/rng"
-	"pnsched/internal/units"
-	"pnsched/internal/workload"
 )
 
 const seed = 5
 
-func problem() *core.Problem {
-	r := rng.New(seed)
-	batch := workload.Generate(workload.Spec{
-		N:     200,
-		Sizes: workload.Uniform{Lo: 10, Hi: 1000},
-	}, r.Stream(1))
-	rr := r.Stream(2)
-	rates := make([]units.Rate, 50)
-	for j := range rates {
-		rates[j] = units.Rate(rr.Uniform(10, 100))
+// run schedules one fixed workload with a PN spec and reports the
+// resulting makespan plus the wall-clock the run took.
+func run(opts ...pnsched.Option) (pnsched.Seconds, time.Duration) {
+	w, err := pnsched.GenerateWorkload(pnsched.WorkloadConfig{
+		Tasks: 400,
+		Procs: 50,
+		Sizes: pnsched.Uniform{Lo: 10, Hi: 1000},
+		Seed:  seed,
+	})
+	if err != nil {
+		panic(err)
 	}
-	return core.BuildProblem(batch, rates, nil, nil, false)
-}
-
-func evolve(cfg core.Config) (units.Seconds, time.Duration) {
-	p := problem()
-	r := rng.New(seed).Stream(3)
-	initial := core.ListPopulation(p, cfg.Population, r)
+	spec := pnsched.MustSpec("PN",
+		append([]pnsched.Option{pnsched.WithBatch(200), pnsched.WithSeed(seed)}, opts...)...)
 	start := time.Now()
-	st := core.Evolve(p, cfg, initial, units.Inf(), r)
-	return st.BestMakespan, time.Since(start)
+	res, err := pnsched.Run(context.Background(), spec, w)
+	if err != nil {
+		panic(err)
+	}
+	return res.Makespan, time.Since(start)
 }
 
 func main() {
-	base := core.DefaultConfig()
-	base.Generations = 500
-
-	fmt.Println("Batch of 200 uniform tasks on 50 heterogeneous processors.")
-	fmt.Printf("Theoretical optimum ψ = %v\n\n", problem().Psi())
+	const gens = 500
+	fmt.Println("400 uniform tasks on 50 heterogeneous processors, batches of 200.")
+	fmt.Println()
 
 	popTable := metrics.Table{
 		Title:  "Population size (paper: 20, a 'micro GA')",
 		Header: []string{"population", "makespan", "wall time"},
 	}
 	for _, pop := range []int{5, 10, 20, 50, 100} {
-		cfg := base
-		cfg.Population = pop
-		mk, dt := evolve(cfg)
+		mk, dt := run(pnsched.WithGenerations(gens), pnsched.WithPopulation(pop))
 		popTable.AddRow(pop, mk, dt.Round(time.Millisecond).String())
 	}
 	popTable.Render(os.Stdout)
@@ -69,11 +63,13 @@ func main() {
 		Title:  "Rebalances per individual per generation (paper: 1; Fig. 4 shows linear cost)",
 		Header: []string{"rebalances", "makespan", "wall time"},
 	}
-	for _, rb := range []int{0, 1, 5, 20, 50} {
-		cfg := base
-		cfg.Rebalances = rb
-		mk, dt := evolve(cfg)
-		rbTable.AddRow(rb, mk, dt.Round(time.Millisecond).String())
+	for _, rb := range []int{-1, 1, 5, 20, 50} {
+		mk, dt := run(pnsched.WithGenerations(gens), pnsched.WithRebalances(rb))
+		label := rb
+		if rb < 0 {
+			label = 0 // negative disables rebalancing: the pure-GA ablation
+		}
+		rbTable.AddRow(label, mk, dt.Round(time.Millisecond).String())
 	}
 	rbTable.Render(os.Stdout)
 	fmt.Println()
@@ -83,9 +79,7 @@ func main() {
 		Header: []string{"generations", "makespan", "wall time"},
 	}
 	for _, g := range []int{50, 100, 250, 500, 1000, 2000} {
-		cfg := base
-		cfg.Generations = g
-		mk, dt := evolve(cfg)
+		mk, dt := run(pnsched.WithGenerations(g))
 		genTable.AddRow(g, mk, dt.Round(time.Millisecond).String())
 	}
 	genTable.Render(os.Stdout)

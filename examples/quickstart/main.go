@@ -1,6 +1,6 @@
-// Quickstart: schedule one batch of heterogeneous tasks onto a
-// heterogeneous cluster with the PN genetic-algorithm scheduler and
-// print the resulting queues.
+// Quickstart: the public pnsched API in one small program — build a
+// scheduler Spec from the registry, generate a synthetic workload,
+// run the simulation, and watch it through the typed Observer.
 //
 // Run with:
 //
@@ -8,54 +8,53 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"pnsched/internal/core"
-	"pnsched/internal/rng"
-	"pnsched/internal/units"
-	"pnsched/internal/workload"
+	"pnsched"
 )
 
 func main() {
-	r := rng.New(42)
+	// A GA scheduler from the registry, configured with functional
+	// options. Names are case-insensitive; pnsched.Names() lists all.
+	spec := pnsched.MustSpec("PN",
+		pnsched.WithGenerations(500),
+		pnsched.WithSeed(42))
 
-	// A small heterogeneous cluster: four processors rated 25-200
-	// Mflop/s (in a live deployment these ratings come from the
-	// internal/linpack benchmark).
-	rates := []units.Rate{25, 50, 100, 200}
-
-	// Twelve independent tasks with uniformly distributed sizes.
-	batch := workload.Generate(workload.Spec{
-		N:     12,
-		Sizes: workload.Uniform{Lo: 100, Hi: 2000},
-	}, r)
-
-	// Snapshot the scheduling problem: empty queues, no communication
-	// history yet.
-	problem := core.BuildProblem(batch, rates, nil, nil, true)
-
-	// Evolve a schedule with the paper's defaults (population 20,
-	// cycle crossover, roulette selection, one rebalance/generation).
-	cfg := core.DefaultConfig()
-	cfg.Generations = 500
-	initial := core.ListPopulation(problem, cfg.Population, r)
-	st := core.Evolve(problem, cfg, initial, units.Inf(), r)
-
-	fmt.Printf("theoretical optimum ψ: %v\n", problem.Psi())
-	fmt.Printf("best schedule makespan: %v (after %d generations)\n\n",
-		st.BestMakespan, st.Result.Generations)
-
-	queues := core.Decode(st.Result.Best, len(rates))
-	for j, q := range queues {
-		var load units.MFlops
-		for _, id := range q {
-			load += problem.Set.MustGet(id).Size
-		}
-		fmt.Printf("processor %d (%v): %2d tasks, %8.1f MFLOPs → finishes at %v\n",
-			j, rates[j], len(q), float64(load), load.TimeOn(rates[j]))
-		for _, id := range q {
-			t := problem.Set.MustGet(id)
-			fmt.Printf("    task %2d  %v\n", t.ID, t.Size)
-		}
+	// A paper-style synthetic system: heterogeneous processors,
+	// per-link communication costs, one batch of tasks. Same seed,
+	// same system — runs are deterministic.
+	w, err := pnsched.GenerateWorkload(pnsched.WorkloadConfig{
+		Tasks:    400,
+		Procs:    16,
+		RateLo:   25,
+		RateHi:   200,
+		Sizes:    pnsched.Uniform{Lo: 100, Hi: 2000},
+		MeanComm: 2,
+		Seed:     42,
+	})
+	if err != nil {
+		panic(err)
 	}
+
+	// Observe the run: every committed batch decision and the GA's
+	// per-generation best makespan (the paper's Fig. 3 signal).
+	var lastBest pnsched.Seconds
+	res, err := pnsched.Run(context.Background(), spec, w,
+		pnsched.Observe(pnsched.ObserverFuncs{
+			BatchDecided: func(e pnsched.BatchDecision) {
+				fmt.Printf("batch %d: %d tasks scheduled by %s in %v (at t=%v)\n",
+					e.Invocation, e.Tasks, e.Scheduler, e.Cost, e.At)
+			},
+			GenerationBest: func(e pnsched.GenerationBest) { lastBest = e.Makespan },
+		}))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\ncompleted %d/%d tasks\n", res.Completed, len(w.Tasks))
+	fmt.Printf("makespan   %v\n", res.Makespan)
+	fmt.Printf("efficiency %.3f\n", res.Efficiency)
+	fmt.Printf("last GA best-makespan prediction: %v\n", lastBest)
+	fmt.Printf("\nregistered schedulers: %v\n", pnsched.Names())
 }

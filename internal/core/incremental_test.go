@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pnsched/internal/ga"
+	"pnsched/internal/observe"
 	"pnsched/internal/rng"
 	"pnsched/internal/units"
 	"pnsched/internal/workload"
@@ -47,9 +48,9 @@ type evolveTrace struct {
 
 func traceEvolve(p *Problem, cfg Config, seed uint64, islands int) evolveTrace {
 	var tr evolveTrace
-	cfg.OnBestMakespan = func(_ int, mk units.Seconds) {
-		tr.history = append(tr.history, mk)
-	}
+	cfg.Observer = observe.Funcs{GenerationBest: func(e observe.GenerationBest) {
+		tr.history = append(tr.history, e.Makespan)
+	}}
 	r := rng.New(seed)
 	if islands > 1 {
 		tr.st = EvolveIsland(context.Background(), p, cfg, IslandConfig{Islands: islands, MigrationInterval: 5}, units.Inf(), r)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"pnsched/internal/ga"
+	"pnsched/internal/observe"
 	"pnsched/internal/rng"
 	"pnsched/internal/sched"
 	"pnsched/internal/smoothing"
@@ -101,10 +102,13 @@ type Config struct {
 	// a specified minimum"); 0 disables.
 	TargetMakespan units.Seconds
 
-	// OnBestMakespan, when non-nil, observes the best predicted
-	// makespan after every generation — the instrumentation behind the
-	// paper's Fig. 3.
-	OnBestMakespan func(gen int, makespan units.Seconds)
+	// Observer, when non-nil, receives the typed scheduling events a
+	// GA run emits: the best predicted makespan after every generation
+	// (the instrumentation behind the paper's Fig. 3), island-model
+	// ring migrations, and §3.4 budget stops. Batch-level events
+	// (decisions, dispatches) are emitted by the runtime driving the
+	// scheduler, not here.
+	Observer observe.Observer
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -294,6 +298,7 @@ func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Second
 	overBudget := budgetStop(cfg, p, budget, genes, 0)
 
 	bestMakespan := units.Inf()
+	budgetHit := false
 	mkScratch := make([]units.Seconds, p.M)
 	gaCfg := ga.Config{
 		PopulationSize:         cfg.Population,
@@ -309,8 +314,8 @@ func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Second
 			if mk := bestMakespanOf(inc, p, best, mkScratch); mk < bestMakespan {
 				bestMakespan = mk
 			}
-			if cfg.OnBestMakespan != nil {
-				cfg.OnBestMakespan(gen, bestMakespan)
+			if cfg.Observer != nil {
+				cfg.Observer.OnGenerationBest(observe.GenerationBest{Generation: gen, Makespan: bestMakespan})
 			}
 		},
 		Stop: func(gen int, _ float64) bool {
@@ -320,7 +325,11 @@ func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Second
 			// §3.4: "The GA will also stop evolving if one of the
 			// processors becomes idle" — modelled as the cumulative
 			// compute cost exhausting the time budget.
-			return overBudget()
+			if overBudget() {
+				budgetHit = true
+				return true
+			}
+			return false
 		},
 	}
 	if cfg.Rebalances > 0 {
@@ -328,12 +337,20 @@ func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Second
 	}
 
 	res := ga.Run(gaCfg, eval, initial, r)
+	modelled := units.Seconds(float64(cfg.CostPerGene) * float64(genes()))
+	if budgetHit && cfg.Observer != nil {
+		cfg.Observer.OnBudgetStop(observe.BudgetStop{
+			Generation: res.Generations,
+			Budget:     budget,
+			Spent:      modelled,
+		})
+	}
 	return EvolveStats{
 		Result:         res,
 		BestMakespan:   bestMakespan,
 		Evals:          res.Evaluations + rb.Evals,
 		GenesEvaluated: genes(),
-		ModelledCost:   units.Seconds(float64(cfg.CostPerGene) * float64(genes())),
+		ModelledCost:   modelled,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"pnsched/internal/cluster"
 	"pnsched/internal/ga"
 	"pnsched/internal/network"
+	"pnsched/internal/observe"
 	"pnsched/internal/rng"
 	"pnsched/internal/sched"
 	"pnsched/internal/sim"
@@ -125,9 +126,9 @@ func TestEvolveHistoryObserver(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Generations = 50
 	var history []units.Seconds
-	cfg.OnBestMakespan = func(gen int, mk units.Seconds) {
-		history = append(history, mk)
-	}
+	cfg.Observer = observe.Funcs{GenerationBest: func(e observe.GenerationBest) {
+		history = append(history, e.Makespan)
+	}}
 	Evolve(p, cfg, initial, units.Inf(), r)
 	if len(history) != 51 { // generation 0 + 50
 		t.Fatalf("history length = %d, want 51", len(history))

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"runtime"
+	"sync"
 
 	"pnsched/internal/ga"
 	"pnsched/internal/island"
+	"pnsched/internal/observe"
 	"pnsched/internal/rng"
 	"pnsched/internal/sched"
 	"pnsched/internal/smoothing"
@@ -83,6 +85,11 @@ func EvolveIsland(ctx context.Context, p *Problem, cfg Config, icfg IslandConfig
 	}
 	migrationReserve := ChromosomeLen(len(p.Batch), p.M) * migrants
 
+	// The §3.4 budget stop is island-local, so several islands may hit
+	// it; the observer hears about the first only (the run is one
+	// scheduling decision, not N).
+	var budgetOnce sync.Once
+
 	setup := func(i int, ri *rng.RNG) island.Setup {
 		bestMk[i] = units.Inf()
 		eval, rb, genes, inc := evolveEvaluators(p, cfg)
@@ -114,13 +121,25 @@ func EvolveIsland(ctx context.Context, p *Problem, cfg Config, icfg IslandConfig
 			GA:      gaCfg,
 			Eval:    eval,
 			Initial: ListPopulation(p, cfg.Population, ri),
-			LocalStop: func(int, float64) bool {
-				return overBudget()
+			LocalStop: func(gen int, _ float64) bool {
+				if !overBudget() {
+					return false
+				}
+				if cfg.Observer != nil {
+					budgetOnce.Do(func() {
+						cfg.Observer.OnBudgetStop(observe.BudgetStop{
+							Generation: gen,
+							Budget:     budget,
+							Spent:      units.Seconds(float64(cfg.CostPerGene) * float64(genes())),
+						})
+					})
+				}
+				return true
 			},
 		}
 	}
 
-	if cfg.OnBestMakespan != nil {
+	if cfg.Observer != nil {
 		islCfg.OnRound = func(_, gens int, _ ga.Chromosome, _ float64) {
 			mk := units.Inf()
 			for _, m := range bestMk {
@@ -128,7 +147,10 @@ func EvolveIsland(ctx context.Context, p *Problem, cfg Config, icfg IslandConfig
 					mk = m
 				}
 			}
-			cfg.OnBestMakespan(gens, mk)
+			cfg.Observer.OnGenerationBest(observe.GenerationBest{Generation: gens, Makespan: mk})
+		}
+		islCfg.OnMigration = func(round, migrated int) {
+			cfg.Observer.OnMigration(observe.Migration{Round: round, Migrants: migrated})
 		}
 	}
 	res := island.Run(ctx, islCfg, setup, r)

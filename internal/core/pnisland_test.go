@@ -7,6 +7,7 @@ import (
 	"pnsched/internal/cluster"
 	"pnsched/internal/ga"
 	"pnsched/internal/network"
+	"pnsched/internal/observe"
 	"pnsched/internal/rng"
 	"pnsched/internal/sim"
 	"pnsched/internal/units"
@@ -160,10 +161,10 @@ func TestEvolveIslandHistoryObserver(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Generations = 60
 	var history []units.Seconds
-	cfg.OnBestMakespan = func(_ int, mk units.Seconds) { history = append(history, mk) }
+	cfg.Observer = observe.Funcs{GenerationBest: func(e observe.GenerationBest) { history = append(history, e.Makespan) }}
 	EvolveIsland(context.Background(), p, cfg, IslandConfig{Islands: 2, MigrationInterval: 10}, units.Inf(), rng.New(42))
 	if len(history) == 0 {
-		t.Fatal("OnBestMakespan never called")
+		t.Fatal("GenerationBest never observed")
 	}
 	for i := 1; i < len(history); i++ {
 		if history[i] > history[i-1] {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pnsched/internal/observe"
 	"pnsched/internal/sched"
 	"pnsched/internal/smoothing"
 	"pnsched/internal/task"
@@ -39,6 +40,14 @@ type ServerConfig struct {
 	// Logf receives progress logging (worker joins/leaves, batch
 	// dispatches, reissues). Nil disables logging.
 	Logf func(format string, args ...any)
+	// Observer, when non-nil, receives the typed public-API events the
+	// live runtime emits: OnBatchDecided after every committed batch
+	// decision and OnDispatch for every task sent to a worker (with
+	// At in seconds since the server started). GA-level events come
+	// from the scheduler itself via core.Config.Observer. Events are
+	// delivered from the scheduling loop goroutine, outside the
+	// server's lock; implementations must not block.
+	Observer observe.Observer
 	// Nu is the exponential-smoothing factor for observed worker rates
 	// and link overheads; 0 selects DefaultNu.
 	Nu float64
@@ -459,6 +468,7 @@ func (s *Server) unregister(w *remoteWorker) {
 // runs the batch scheduler outside the lock, and dispatches the
 // resulting assignment.
 func (s *Server) scheduleLoop() {
+	invocations := 0
 	for {
 		s.mu.Lock()
 		for !s.closed && (s.queue.Empty() || !s.wantsWorkLocked()) {
@@ -487,10 +497,26 @@ func (s *Server) scheduleLoop() {
 		asg, cost := s.cfg.Scheduler.ScheduleBatch(batch, snap)
 		s.logf("dist: scheduled batch of %d tasks across %d workers (modelled cost %v)",
 			len(batch), snap.M(), cost)
+		invocations++
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.OnBatchDecided(observe.BatchDecision{
+				Invocation: invocations,
+				Scheduler:  s.cfg.Scheduler.Name(),
+				Tasks:      len(batch),
+				Procs:      snap.M(),
+				Cost:       cost,
+				At:         units.Seconds(time.Since(s.start).Seconds()),
+			})
+		}
 
 		s.mu.Lock()
-		s.dispatchLocked(snap.workers, asg)
+		dispatched := s.dispatchLocked(snap.workers, asg)
 		s.mu.Unlock()
+		if s.cfg.Observer != nil {
+			for _, d := range dispatched {
+				s.cfg.Observer.OnDispatch(d)
+			}
+		}
 	}
 }
 
@@ -508,9 +534,13 @@ func (s *Server) wantsWorkLocked() bool {
 
 // dispatchLocked sends an assignment to the workers it was computed
 // for. Tasks assigned to a worker that disconnected while the scheduler
-// ran are pushed back onto the queue and counted as reissued.
-func (s *Server) dispatchLocked(workers []*remoteWorker, asg sched.Assignment) {
+// ran are pushed back onto the queue and counted as reissued. It
+// returns the dispatch events for the observer; the caller emits them
+// after releasing the lock.
+func (s *Server) dispatchLocked(workers []*remoteWorker, asg sched.Assignment) []observe.Dispatch {
 	now := time.Now()
+	at := units.Seconds(now.Sub(s.start).Seconds())
+	var events []observe.Dispatch
 	for j, ts := range asg {
 		if len(ts) == 0 {
 			continue
@@ -526,6 +556,9 @@ func (s *Server) dispatchLocked(workers []*remoteWorker, asg sched.Assignment) {
 			w.outstanding[t.ID] = pendingTask{t: t, sentAt: now, soloDispatch: solo}
 			w.pending += t.Size
 			solo = false
+			if s.cfg.Observer != nil {
+				events = append(events, observe.Dispatch{Proc: j, Task: t.ID, At: at})
+			}
 		}
 		m := message{Type: msgAssign, Tasks: toWire(ts)}
 		select {
@@ -537,6 +570,7 @@ func (s *Server) dispatchLocked(workers []*remoteWorker, asg sched.Assignment) {
 		}
 	}
 	s.cond.Broadcast()
+	return events
 }
 
 // snapshot implements sched.State over a fixed view of the connected

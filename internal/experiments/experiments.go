@@ -14,11 +14,12 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
+	"pnsched"
 	"pnsched/internal/cluster"
-	"pnsched/internal/core"
 	"pnsched/internal/metrics"
 	"pnsched/internal/network"
 	"pnsched/internal/rng"
@@ -127,14 +128,6 @@ func (p Profile) workers() int {
 	return p.Workers
 }
 
-func (p Profile) gaConfig(fixedBatch bool) core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Generations = p.Generations
-	cfg.FixedBatch = fixedBatch
-	cfg.InitialBatch = sched.DefaultBatchSize
-	return cfg
-}
-
 // SchedulerSpec names a scheduler and constructs fresh instances —
 // GA schedulers are stateful, so every repeat gets its own.
 type SchedulerSpec struct {
@@ -142,24 +135,45 @@ type SchedulerSpec struct {
 	New  func(seed uint64) sched.Scheduler
 }
 
-// SchedulerOrder is the presentation order of the paper's bar charts.
-var SchedulerOrder = []string{"EF", "LL", "RR", "ZO", "PN", "MM", "MX"}
+// SchedulerOrder is the presentation order of the paper's bar charts —
+// the registry's canonical names for the seven §4.1 comparators.
+var SchedulerOrder = pnsched.PaperOrder
 
 // Schedulers returns the seven comparison schedulers of §4.1 in
 // SchedulerOrder. fixedBatch pins the GA schedulers' batch size to 200
 // (as in the §4.3 sweeps); otherwise PN sizes batches dynamically
 // (§3.7, exercised by Fig. 6).
 func Schedulers(p Profile, fixedBatch bool) []SchedulerSpec {
-	gaCfg := p.gaConfig(fixedBatch)
-	return []SchedulerSpec{
-		{Name: "EF", New: func(uint64) sched.Scheduler { return sched.EF{} }},
-		{Name: "LL", New: func(uint64) sched.Scheduler { return sched.LL{} }},
-		{Name: "RR", New: func(uint64) sched.Scheduler { return &sched.RR{} }},
-		{Name: "ZO", New: func(seed uint64) sched.Scheduler { return core.NewZO(gaCfg, rng.New(seed)) }},
-		{Name: "PN", New: func(seed uint64) sched.Scheduler { return core.NewPN(gaCfg, rng.New(seed)) }},
-		{Name: "MM", New: func(uint64) sched.Scheduler { return sched.MM{} }},
-		{Name: "MX", New: func(uint64) sched.Scheduler { return sched.MX{} }},
+	return p.schedulerSpecs(SchedulerOrder, fixedBatch)
+}
+
+// schedulerSpecs builds construction specs for the named schedulers
+// through the pnsched registry. Every name is resolved to its
+// canonical registry form up front; a name no registered scheduler
+// answers to panics immediately — a typo'd or stale filter must not
+// silently drop a scheduler from a study.
+func (p Profile) schedulerSpecs(names []string, fixedBatch bool) []SchedulerSpec {
+	specs := make([]SchedulerSpec, 0, len(names))
+	for _, name := range names {
+		canonical, ok := pnsched.Canonical(name)
+		if !ok {
+			panic(fmt.Sprintf("experiments: scheduler %q is not registered (registry knows: %v)", name, pnsched.Names()))
+		}
+		spec := pnsched.Spec{
+			Name:         canonical,
+			Generations:  p.Generations,
+			Batch:        sched.DefaultBatchSize,
+			DynamicBatch: !fixedBatch,
+		}
+		specs = append(specs, SchedulerSpec{Name: canonical, New: func(seed uint64) sched.Scheduler {
+			s, err := pnsched.New(spec.With(pnsched.WithRNG(rng.New(seed))))
+			if err != nil {
+				panic(fmt.Sprintf("experiments: building %s: %v", canonical, err))
+			}
+			return s
+		}})
 	}
+	return specs
 }
 
 // scenario binds everything one simulation run needs except the repeat

@@ -7,6 +7,7 @@ import (
 
 	"pnsched/internal/core"
 	"pnsched/internal/metrics"
+	"pnsched/internal/observe"
 	"pnsched/internal/rng"
 	"pnsched/internal/sched"
 	"pnsched/internal/stats"
@@ -55,9 +56,9 @@ func fig3Run(p Profile, rebalances int, seed uint64) []float64 {
 	cfg.Generations = p.Generations
 	cfg.Rebalances = rebalances
 	history := make([]float64, 0, p.Generations+1)
-	cfg.OnBestMakespan = func(_ int, mk units.Seconds) {
-		history = append(history, float64(mk))
-	}
+	cfg.Observer = observe.Funcs{GenerationBest: func(e observe.GenerationBest) {
+		history = append(history, float64(e.Makespan))
+	}}
 	initial := core.ListPopulation(problem, cfg.Population, base.Stream(streamSched))
 	core.Evolve(problem, cfg, initial, units.Inf(), base.Stream(streamSched+1))
 	if len(history) == 0 || history[0] <= 0 {

@@ -23,21 +23,28 @@ import (
 //     plots — continuous arrivals, drifting availability and link
 //     quality, and a machine failure — compared across schedulers.
 
-// ExtendedOrder is the presentation order of the extended comparison.
-var ExtendedOrder = []string{"EF", "LL", "RR", "ZO", "PN", "MM", "MX", "MET", "OLB", "KPB", "SUF"}
+// ExtendedOrder is the presentation order of the extended comparison:
+// the paper's seven plus the Maheswaran et al. heuristics, all by
+// their canonical registry names.
+var ExtendedOrder = append(append([]string(nil), SchedulerOrder...), "MET", "OLB", "KPB", "SUF")
 
 // ExtendedSchedulers returns the paper's seven schedulers plus the
-// four Maheswaran et al. heuristics.
+// four Maheswaran et al. heuristics, built through the registry.
 func ExtendedSchedulers(p Profile, fixedBatch bool) []SchedulerSpec {
-	specs := Schedulers(p, fixedBatch)
-	specs = append(specs,
-		SchedulerSpec{Name: "MET", New: func(uint64) sched.Scheduler { return sched.MET{} }},
-		SchedulerSpec{Name: "OLB", New: func(uint64) sched.Scheduler { return sched.OLB{} }},
-		SchedulerSpec{Name: "KPB", New: func(uint64) sched.Scheduler { return sched.KPB{K: 20} }},
-		SchedulerSpec{Name: "SUF", New: func(uint64) sched.Scheduler { return sched.Sufferage{} }},
-	)
-	return specs
+	return p.schedulerSpecs(ExtendedOrder, fixedBatch)
 }
+
+// Scheduler subsets of the supplementary studies, as canonical
+// registry names — resolved through p.schedulerSpecs, which refuses
+// unregistered names instead of silently skipping them (the failure
+// mode the old switch-based filtering had when a scheduler was
+// renamed or newly registered).
+var (
+	// ScalabilitySchedulers is swept across cluster sizes.
+	ScalabilitySchedulers = []string{"PN", "EF", "RR"}
+	// DynamicSchedulers runs through the §3 operating regimes.
+	DynamicSchedulers = []string{"PN", "ZO", "EF", "RR"}
+)
 
 // Extended runs the Fig-6 workload (normal task sizes) across the
 // extended scheduler set.
@@ -115,13 +122,7 @@ func Scalability(p Profile) *ScalabilityResult {
 	if len(procs) == 0 || procs[len(procs)-1] != p.Procs {
 		procs = append(procs, p.Procs)
 	}
-	specs := []SchedulerSpec{}
-	for _, s := range Schedulers(p, true) {
-		switch s.Name {
-		case "PN", "EF", "RR":
-			specs = append(specs, s)
-		}
-	}
+	specs := p.schedulerSpecs(ScalabilitySchedulers, true)
 	res := &ScalabilityResult{Profile: p.Name, Tasks: p.Tasks, Procs: procs}
 	for _, s := range specs {
 		res.Schedulers = append(res.Schedulers, s.Name)
@@ -254,13 +255,7 @@ func dynamicScenarios(p Profile) []struct {
 // Dynamic runs PN, ZO, EF and RR through the four regimes.
 func Dynamic(p Profile) *DynamicResult {
 	scens := dynamicScenarios(p)
-	var specs []SchedulerSpec
-	for _, s := range Schedulers(p, true) {
-		switch s.Name {
-		case "PN", "ZO", "EF", "RR":
-			specs = append(specs, s)
-		}
-	}
+	specs := p.schedulerSpecs(DynamicSchedulers, true)
 	res := &DynamicResult{Profile: p.Name, Tasks: p.Tasks}
 	for _, s := range scens {
 		res.Scenarios = append(res.Scenarios, s.name)

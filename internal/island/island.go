@@ -45,6 +45,12 @@ type Config struct {
 	// generations the most advanced island has completed, and the
 	// best-so-far across all islands.
 	OnRound func(round, generations int, best ga.Chromosome, bestFitness float64)
+	// OnMigration, when non-nil, observes every completed ring
+	// exchange from the coordinator goroutine: the 1-based round and
+	// the number of individuals injected across the whole ring. Rounds
+	// where migration is disabled or no island was live to exchange
+	// are not reported.
+	OnMigration func(round, migrated int)
 }
 
 func (c *Config) applyDefaults() {
@@ -281,13 +287,18 @@ func Run(ctx context.Context, cfg Config, setup func(island int, r *rng.RNG) Set
 					elites[i] = e.Elites(cfg.Migrants)
 				}
 			}
+			exchanged := 0
 			for i, e := range engines {
 				src := (i - 1 + n) % n
 				if e.Done() || elites[src] == nil {
 					continue
 				}
 				e.Inject(elites[src])
-				res.Migrated += len(elites[src])
+				exchanged += len(elites[src])
+			}
+			res.Migrated += exchanged
+			if exchanged > 0 && cfg.OnMigration != nil {
+				cfg.OnMigration(res.Rounds, exchanged)
 			}
 		}
 	}

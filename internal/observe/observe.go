@@ -1,0 +1,204 @@
+// Package observe defines the typed observer protocol of the public
+// pnsched API: one interface through which every runtime in the repo —
+// the discrete-event simulator (internal/sim), the live TCP scheduling
+// server (internal/dist), and the GA engines underneath them
+// (internal/core, internal/island) — reports the events a caller can
+// watch a scheduling run through.
+//
+// It replaces the scattered per-layer callback fields the runtimes
+// grew independently (core.Config.OnBestMakespan, island.Config
+// round hooks, ad-hoc sim traces) with one vocabulary:
+//
+//   - BatchDecided    — a batch scheduler committed an assignment
+//   - GenerationBest  — a GA generation improved (or confirmed) the
+//     best predicted makespan (the paper's Fig. 3 instrumentation)
+//   - Migration       — an island-model round exchanged elites over
+//     the ring
+//   - Dispatch        — a task was sent to a processor / worker
+//   - BudgetStop      — a GA run stopped because the §3.4
+//     time-to-first-idle budget was exhausted
+//
+// Implementations must be cheap and must not block: events are
+// delivered synchronously from the emitting runtime's hot path. For
+// island-model runs, GenerationBest, Migration and BudgetStop may be
+// delivered from different goroutines (coordinator and island
+// workers); observers that aggregate across them must synchronise.
+package observe
+
+import (
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// BatchDecision reports one committed batch-scheduling decision.
+type BatchDecision struct {
+	// Invocation is the 1-based count of batch decisions so far in
+	// this run or server lifetime.
+	Invocation int
+	// Scheduler is the deciding scheduler's Name().
+	Scheduler string
+	// Tasks is the number of tasks in the batch.
+	Tasks int
+	// Procs is the number of processors / workers the batch was
+	// spread over.
+	Procs int
+	// Cost is the modelled scheduler compute time the decision
+	// consumed (zero for the O(n·M) heuristics).
+	Cost units.Seconds
+	// At is the decision time: simulated seconds in the simulator,
+	// seconds since server start in the live runtime.
+	At units.Seconds
+}
+
+// GenerationBest reports the best predicted makespan after one GA
+// generation — the instrumentation behind the paper's Fig. 3.
+type GenerationBest struct {
+	// Generation is the generation number within the current batch
+	// decision (island runs report the most advanced island's count).
+	Generation int
+	// Makespan is the lowest predicted makespan seen so far in this
+	// GA run.
+	Makespan units.Seconds
+}
+
+// Migration reports one island-model ring exchange.
+type Migration struct {
+	// Round is the 1-based migration round.
+	Round int
+	// Migrants is the number of individuals injected across the whole
+	// ring this round.
+	Migrants int
+}
+
+// Dispatch reports one task leaving the scheduler for a processor.
+type Dispatch struct {
+	// Proc is the destination processor (simulator) or worker index
+	// (live runtime, registration order at decision time).
+	Proc int
+	// Task identifies the dispatched task.
+	Task task.ID
+	// At is the dispatch time on the same clock as
+	// BatchDecision.At.
+	At units.Seconds
+}
+
+// BudgetStop reports a GA run terminating on the §3.4 stop-when-idle
+// condition: the modelled evaluation cost exhausted the
+// time-until-first-idle budget.
+type BudgetStop struct {
+	// Generation is the generation at which the budget fired.
+	Generation int
+	// Budget is the time-to-first-idle allowance the run was given.
+	Budget units.Seconds
+	// Spent is the modelled cost billed when the run stopped.
+	Spent units.Seconds
+}
+
+// Observer receives scheduling events. All methods must be safe to
+// call with the zero value of their event's optional fields;
+// implementations that only care about a subset should embed Funcs
+// (or use Funcs directly) rather than hand-writing no-ops.
+type Observer interface {
+	OnBatchDecided(BatchDecision)
+	OnGenerationBest(GenerationBest)
+	OnMigration(Migration)
+	OnDispatch(Dispatch)
+	OnBudgetStop(BudgetStop)
+}
+
+// Funcs adapts plain functions to Observer; nil fields ignore their
+// event. The zero Funcs is a valid no-op Observer.
+type Funcs struct {
+	BatchDecided   func(BatchDecision)
+	GenerationBest func(GenerationBest)
+	Migration      func(Migration)
+	Dispatch       func(Dispatch)
+	BudgetStop     func(BudgetStop)
+}
+
+// OnBatchDecided implements Observer.
+func (f Funcs) OnBatchDecided(e BatchDecision) {
+	if f.BatchDecided != nil {
+		f.BatchDecided(e)
+	}
+}
+
+// OnGenerationBest implements Observer.
+func (f Funcs) OnGenerationBest(e GenerationBest) {
+	if f.GenerationBest != nil {
+		f.GenerationBest(e)
+	}
+}
+
+// OnMigration implements Observer.
+func (f Funcs) OnMigration(e Migration) {
+	if f.Migration != nil {
+		f.Migration(e)
+	}
+}
+
+// OnDispatch implements Observer.
+func (f Funcs) OnDispatch(e Dispatch) {
+	if f.Dispatch != nil {
+		f.Dispatch(e)
+	}
+}
+
+// OnBudgetStop implements Observer.
+func (f Funcs) OnBudgetStop(e BudgetStop) {
+	if f.BudgetStop != nil {
+		f.BudgetStop(e)
+	}
+}
+
+// multi fans every event out to several observers in order.
+type multi []Observer
+
+func (m multi) OnBatchDecided(e BatchDecision) {
+	for _, o := range m {
+		o.OnBatchDecided(e)
+	}
+}
+
+func (m multi) OnGenerationBest(e GenerationBest) {
+	for _, o := range m {
+		o.OnGenerationBest(e)
+	}
+}
+
+func (m multi) OnMigration(e Migration) {
+	for _, o := range m {
+		o.OnMigration(e)
+	}
+}
+
+func (m multi) OnDispatch(e Dispatch) {
+	for _, o := range m {
+		o.OnDispatch(e)
+	}
+}
+
+func (m multi) OnBudgetStop(e BudgetStop) {
+	for _, o := range m {
+		o.OnBudgetStop(e)
+	}
+}
+
+// Multi combines observers into one that delivers every event to each
+// in order. Nil entries are dropped; Multi() and Multi(nil) return
+// nil, and a single survivor is returned unwrapped.
+func Multi(obs ...Observer) Observer {
+	var live multi
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

@@ -1,0 +1,58 @@
+package observe
+
+import "testing"
+
+func TestFuncsNilFieldsAreNoOps(t *testing.T) {
+	var f Funcs // zero value: every event is ignored, nothing panics
+	f.OnBatchDecided(BatchDecision{})
+	f.OnGenerationBest(GenerationBest{})
+	f.OnMigration(Migration{})
+	f.OnDispatch(Dispatch{})
+	f.OnBudgetStop(BudgetStop{})
+}
+
+func TestFuncsDispatchesToFields(t *testing.T) {
+	var got []string
+	f := Funcs{
+		BatchDecided:   func(BatchDecision) { got = append(got, "batch") },
+		GenerationBest: func(GenerationBest) { got = append(got, "gen") },
+		Migration:      func(Migration) { got = append(got, "mig") },
+		Dispatch:       func(Dispatch) { got = append(got, "disp") },
+		BudgetStop:     func(BudgetStop) { got = append(got, "budget") },
+	}
+	var o Observer = f
+	o.OnBatchDecided(BatchDecision{})
+	o.OnGenerationBest(GenerationBest{})
+	o.OnMigration(Migration{})
+	o.OnDispatch(Dispatch{})
+	o.OnBudgetStop(BudgetStop{})
+	want := []string{"batch", "gen", "mig", "disp", "budget"}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("empty Multi must collapse to nil")
+	}
+	one := Funcs{}
+	if got := Multi(nil, one); got == nil {
+		t.Error("single survivor dropped")
+	}
+	a, b := 0, 0
+	m := Multi(
+		Funcs{Dispatch: func(Dispatch) { a++ }},
+		nil,
+		Funcs{Dispatch: func(Dispatch) { b++ }},
+	)
+	m.OnDispatch(Dispatch{})
+	if a != 1 || b != 1 {
+		t.Errorf("fan-out delivered a=%d b=%d, want 1/1", a, b)
+	}
+}

@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"io"
 
+	"pnsched"
 	"pnsched/internal/cluster"
-	"pnsched/internal/core"
 	"pnsched/internal/network"
 	"pnsched/internal/rng"
 	"pnsched/internal/sched"
@@ -99,25 +99,10 @@ type WorkloadSpec struct {
 	File string `json:"file,omitempty"`
 }
 
-// SchedulerSpec selects and configures a scheduler.
-type SchedulerSpec struct {
-	// Name: EF, LL, RR, MM, MX, MET, OLB, KPB, SUF, PN, ZO, pn-island.
-	Name string `json:"name"`
-	// GA settings (PN/ZO/pn-island).
-	Generations  int  `json:"generations,omitempty"`
-	Population   int  `json:"population,omitempty"`
-	Rebalances   int  `json:"rebalances,omitempty"`
-	Batch        int  `json:"batch,omitempty"`
-	DynamicBatch bool `json:"dynamic_batch,omitempty"`
-	K            int  `json:"k,omitempty"` // KPB
-	// Island-model settings (pn-island only). Islands is a pointer so
-	// an explicit invalid value ("islands": 0) is distinguishable from
-	// the field being omitted (nil → one island per CPU).
-	Islands           *int    `json:"islands,omitempty"`
-	MigrationInterval int     `json:"migration_interval,omitempty"`
-	Migrants          int     `json:"migrants,omitempty"`
-	_                 float64 // reserved
-}
+// SchedulerSpec is the scheduler block of a scenario file — exactly
+// the public pnsched.Spec, so scenario files, CLI flags and library
+// calls all lower onto the same registry-validated configuration.
+type SchedulerSpec = pnsched.Spec
 
 // Load parses a scenario file.
 func Load(r io.Reader) (*Spec, error) {
@@ -151,36 +136,10 @@ func (s *Spec) validate() error {
 	if s.Network.MeanCostS < 0 {
 		return fmt.Errorf("scenario: negative mean comm cost")
 	}
-	if s.Scheduler.Name == "" {
-		return fmt.Errorf("scenario: scheduler name required")
-	}
-	if err := s.Scheduler.validateIsland(); err != nil {
-		return err
-	}
-	return nil
-}
-
-// validateIsland checks the pn-island fields (and rejects them on any
-// other scheduler, where they would silently do nothing).
-func (s *SchedulerSpec) validateIsland() error {
-	if s.Name != "pn-island" {
-		if s.Islands != nil || s.MigrationInterval != 0 || s.Migrants != 0 {
-			return fmt.Errorf("scenario: islands/migration_interval/migrants only apply to scheduler %q, not %q", "pn-island", s.Name)
-		}
-		return nil
-	}
-	if s.Islands != nil && *s.Islands < 1 {
-		return fmt.Errorf("scenario: pn-island needs islands >= 1 (got %d); omit the field for one island per CPU", *s.Islands)
-	}
-	if s.MigrationInterval < 0 {
-		return fmt.Errorf("scenario: pn-island migration_interval %d must be >= 0", s.MigrationInterval)
-	}
-	population := s.Population
-	if population <= 0 {
-		population = core.DefaultPopulation
-	}
-	if s.Migrants >= population {
-		return fmt.Errorf("scenario: pn-island migrants %d must be smaller than the population %d", s.Migrants, population)
+	// Scheduler validation is the registry's: one rule set shared with
+	// pnsched.New, the CLIs and the experiments harness.
+	if err := s.Scheduler.Validate(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
 	return nil
 }
@@ -303,61 +262,15 @@ func (s *Spec) buildWorkload(r *rng.RNG, open func(string) (io.ReadCloser, error
 }
 
 func (s *Spec) buildScheduler(r *rng.RNG) (sched.Scheduler, sched.BatchSizer, error) {
-	gaCfg := core.DefaultConfig()
-	if s.Scheduler.Generations > 0 {
-		gaCfg.Generations = s.Scheduler.Generations
+	spec := s.Scheduler
+	// The scheduler draws from the scenario's derived stream unless
+	// the scheduler block pins its own seed explicitly.
+	if spec.Seed == 0 {
+		spec = spec.With(pnsched.WithRNG(r))
 	}
-	if s.Scheduler.Population > 0 {
-		gaCfg.Population = s.Scheduler.Population
+	schd, err := pnsched.New(spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: %w", err)
 	}
-	if s.Scheduler.Rebalances > 0 {
-		gaCfg.Rebalances = s.Scheduler.Rebalances
-	}
-	if s.Scheduler.Batch > 0 {
-		gaCfg.InitialBatch = s.Scheduler.Batch
-	}
-	gaCfg.FixedBatch = !s.Scheduler.DynamicBatch
-
-	batchCap := s.Scheduler.Batch
-	if batchCap <= 0 {
-		batchCap = sched.DefaultBatchSize
-	}
-	fixed := func(b sched.Batch) (sched.Scheduler, sched.BatchSizer, error) {
-		return b, sched.FixedBatch{Batch: b, Size: batchCap}, nil
-	}
-	switch s.Scheduler.Name {
-	case "EF":
-		return sched.EF{}, nil, nil
-	case "LL":
-		return sched.LL{}, nil, nil
-	case "RR":
-		return &sched.RR{}, nil, nil
-	case "MET":
-		return sched.MET{}, nil, nil
-	case "OLB":
-		return sched.OLB{}, nil, nil
-	case "KPB":
-		return sched.KPB{K: s.Scheduler.K}, nil, nil
-	case "MM":
-		return fixed(sched.MM{})
-	case "MX":
-		return fixed(sched.MX{})
-	case "SUF":
-		return fixed(sched.Sufferage{})
-	case "PN":
-		return core.NewPN(gaCfg, r), nil, nil
-	case "pn-island":
-		icfg := core.IslandConfig{
-			MigrationInterval: s.Scheduler.MigrationInterval,
-			Migrants:          s.Scheduler.Migrants,
-		}
-		if s.Scheduler.Islands != nil {
-			icfg.Islands = *s.Scheduler.Islands
-		}
-		return core.NewPNIsland(gaCfg, icfg, r), nil, nil
-	case "ZO":
-		return core.NewZO(gaCfg, r), nil, nil
-	default:
-		return nil, nil, fmt.Errorf("scenario: unknown scheduler %q", s.Scheduler.Name)
-	}
+	return schd, pnsched.SizerFor(schd, s.Scheduler), nil
 }

@@ -21,6 +21,7 @@ import (
 	"pnsched/internal/cluster"
 	"pnsched/internal/eventq"
 	"pnsched/internal/network"
+	"pnsched/internal/observe"
 	"pnsched/internal/sched"
 	"pnsched/internal/smoothing"
 	"pnsched/internal/task"
@@ -86,6 +87,20 @@ type Config struct {
 
 	// Trace, when non-nil, observes every simulation event.
 	Trace func(TraceEvent)
+
+	// Observer, when non-nil, receives the typed public-API events the
+	// simulator emits: OnBatchDecided after every committed batch
+	// decision and OnDispatch when a task starts its transfer to a
+	// processor. GA-level events (generation best, migration, budget
+	// stop) come from the scheduler itself via core.Config.Observer —
+	// point both at the same Observer to see the full stream.
+	Observer observe.Observer
+
+	// Interrupt, when non-nil, is polled before every event; returning
+	// true aborts the run at the current simulated instant (Completed
+	// then reports fewer than len(Tasks)). The public pnsched.Run API
+	// uses it to honour context cancellation.
+	Interrupt func() bool
 
 	// Timeline, when non-nil, is filled with per-processor comm and
 	// busy segments for post-run analysis (utilisation, Gantt).
@@ -262,6 +277,9 @@ func Run(cfg Config) Result {
 	}
 
 	for s.completed < len(cfg.Tasks) {
+		if cfg.Interrupt != nil && cfg.Interrupt() {
+			break
+		}
 		item, ok := s.queue.Pop()
 		if !ok || item.Time > maxTime {
 			break
@@ -366,6 +384,16 @@ func (s *simulator) onInvoke() {
 	s.invocations++
 	s.schedTime += cost
 	s.schedBusy = true
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnBatchDecided(observe.BatchDecision{
+			Invocation: s.invocations,
+			Scheduler:  s.batch.Name(),
+			Tasks:      len(batch),
+			Procs:      s.m,
+			Cost:       cost,
+			At:         s.now,
+		})
+	}
 	s.queue.Push(s.now+cost, evAssign{a: a})
 }
 
@@ -402,6 +430,9 @@ func (s *simulator) onReady(j int) {
 	s.stats[j].Comm += comm
 	start := s.now + comm
 	s.trace(TraceStart, j, t.ID)
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnDispatch(observe.Dispatch{Proc: j, Task: t.ID, At: s.now})
+	}
 	if s.cfg.Timeline != nil {
 		s.cfg.Timeline.record(j, Segment{Start: s.now, End: start, Kind: SegComm, Task: t.ID})
 	}

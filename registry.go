@@ -1,0 +1,132 @@
+package pnsched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pnsched/internal/rng"
+	"pnsched/internal/sched"
+)
+
+// Factory constructs one scheduler instance from a validated Spec and
+// the random stream the instance should draw from. Stateless
+// heuristics ignore r; GA schedulers must take all their randomness
+// from it so identically seeded specs build identically behaving
+// schedulers.
+type Factory func(spec Spec, r *RNG) (Scheduler, error)
+
+var registry = struct {
+	sync.RWMutex
+	factories map[string]Factory
+	order     []string // canonical names, registration order
+}{factories: map[string]Factory{}}
+
+// canonicalName normalizes a scheduler name for registry lookup:
+// names are case-insensitive ("pn-island" and "PN-ISLAND" are the same
+// scheduler) and surrounding whitespace is ignored.
+func canonicalName(name string) string {
+	return strings.ToUpper(strings.TrimSpace(name))
+}
+
+// Register adds a scheduler factory under a (case-insensitive) name.
+// It panics on an empty name, a nil factory, or a duplicate
+// registration — registration happens in init functions, where a
+// conflict is a programming error. The built-in schedulers (the
+// paper's seven plus PN-ISLAND and the Maheswaran et al. heuristics)
+// self-register; external packages can add their own and have them
+// reachable from every construction surface in the repo (pnsim
+// -sched, scenario files, experiments).
+func Register(name string, f Factory) {
+	c := canonicalName(name)
+	if c == "" {
+		panic("pnsched: Register with empty scheduler name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("pnsched: Register(%q) with nil factory", name))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[c]; dup {
+		panic(fmt.Sprintf("pnsched: scheduler %q already registered", c))
+	}
+	registry.factories[c] = f
+	registry.order = append(registry.order, c)
+}
+
+// Names returns every registered scheduler's canonical name in
+// registration order — the built-ins first, in the paper's
+// presentation order, then anything registered afterwards.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]string(nil), registry.order...)
+}
+
+// SortedNames returns the canonical names sorted alphabetically — for
+// stable user-facing listings.
+func SortedNames() []string {
+	names := Names()
+	sort.Strings(names)
+	return names
+}
+
+// Canonical resolves a name to its canonical registry form, reporting
+// whether a scheduler is registered under it.
+func Canonical(name string) (string, bool) {
+	c := canonicalName(name)
+	registry.RLock()
+	defer registry.RUnlock()
+	_, ok := registry.factories[c]
+	return c, ok
+}
+
+// New validates the spec and constructs the named scheduler. The
+// instance draws its randomness from the stream attached with WithRNG,
+// or from NewRNG(spec.Seed) when none was attached. Unknown names
+// produce an error listing every registered scheduler.
+func New(spec Spec) (Scheduler, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := canonicalName(spec.Name)
+	registry.RLock()
+	f := registry.factories[c]
+	registry.RUnlock()
+	r := spec.rng
+	if r == nil {
+		r = rng.New(spec.Seed)
+	}
+	return f(spec, r)
+}
+
+// MustNew is New panicking on error — for tests and examples where
+// the spec is known-valid.
+func MustNew(spec Spec) Scheduler {
+	s, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SizerFor returns the batch sizer a runtime should drive the
+// scheduler with: nil when the scheduler sizes its own batches (PN's
+// §3.7 rule) or is immediate-mode, and a fixed cap of spec.Batch
+// (default sched.DefaultBatchSize, the paper's 200) for batch
+// heuristics with no sizing of their own (MM, MX, SUF).
+func SizerFor(s Scheduler, spec Spec) BatchSizer {
+	if _, own := s.(BatchSizer); own {
+		return nil
+	}
+	b, ok := s.(BatchScheduler)
+	if !ok {
+		return nil
+	}
+	size := spec.Batch
+	if size <= 0 {
+		size = sched.DefaultBatchSize
+	}
+	return sched.FixedBatch{Batch: b, Size: size}
+}

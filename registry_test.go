@@ -1,0 +1,134 @@
+package pnsched
+
+import (
+	"strings"
+	"testing"
+
+	"pnsched/internal/sched"
+)
+
+func TestNamesContainsAllBuiltins(t *testing.T) {
+	names := Names()
+	want := []string{"EF", "LL", "RR", "ZO", "PN", "MM", "MX", "PN-ISLAND", "MET", "OLB", "KPB", "SUF"}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("registry missing built-in %s (have %v)", n, names)
+		}
+	}
+	// The paper's seven lead the listing in presentation order.
+	for i, n := range PaperOrder {
+		if j := indexOf(names, n); j < 0 || (i > 0 && j < indexOf(names, PaperOrder[i-1])) {
+			t.Errorf("paper scheduler %s out of order in %v", n, names)
+		}
+	}
+}
+
+func indexOf(ss []string, s string) int {
+	for i, x := range ss {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestNewIsCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"pn", "Pn", "PN", " pn ", "pn-island", "PN-ISLAND", "ef", "suf"} {
+		s, err := New(Spec{Name: name})
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if s == nil {
+			t.Errorf("New(%q) returned nil scheduler", name)
+		}
+	}
+}
+
+func TestNewUnknownListsRegistry(t *testing.T) {
+	_, err := New(Spec{Name: "definitely-not-a-scheduler"})
+	if err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	for _, want := range []string{"definitely-not-a-scheduler", "PN", "EF", "PN-ISLAND"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+func TestRegisterExternalScheduler(t *testing.T) {
+	Register("test-external", func(Spec, *RNG) (Scheduler, error) { return sched.EF{}, nil })
+	if _, ok := Canonical("Test-External"); !ok {
+		t.Fatal("externally registered scheduler not resolvable")
+	}
+	if _, err := New(Spec{Name: "test-external"}); err != nil {
+		t.Fatalf("constructing external scheduler: %v", err)
+	}
+	if indexOf(Names(), "TEST-EXTERNAL") < 0 {
+		t.Error("external scheduler missing from Names()")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
+	mustPanic(t, "duplicate", func() {
+		Register("pn", func(Spec, *RNG) (Scheduler, error) { return sched.EF{}, nil })
+	})
+	mustPanic(t, "empty name", func() {
+		Register("  ", func(Spec, *RNG) (Scheduler, error) { return sched.EF{}, nil })
+	})
+	mustPanic(t, "nil factory", func() { Register("x-nil", nil) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+func TestSizerFor(t *testing.T) {
+	// GA schedulers size their own batches: no external sizer.
+	pn := MustNew(Spec{Name: "PN"})
+	if s := SizerFor(pn, Spec{Name: "PN"}); s != nil {
+		t.Errorf("PN got external sizer %T", s)
+	}
+	// Heuristic batch schedulers are pinned to the spec's batch cap.
+	mm := MustNew(Spec{Name: "MM", Batch: 64})
+	s := SizerFor(mm, Spec{Name: "MM", Batch: 64})
+	fb, ok := s.(sched.FixedBatch)
+	if !ok || fb.Size != 64 {
+		t.Errorf("MM sizer = %#v, want FixedBatch{Size: 64}", s)
+	}
+	// ... defaulting to the paper's 200.
+	if fb := SizerFor(mm, Spec{Name: "MM"}).(sched.FixedBatch); fb.Size != sched.DefaultBatchSize {
+		t.Errorf("default cap = %d, want %d", fb.Size, sched.DefaultBatchSize)
+	}
+	// Immediate schedulers need no sizer at all.
+	if s := SizerFor(MustNew(Spec{Name: "EF"}), Spec{Name: "EF"}); s != nil {
+		t.Errorf("EF got sizer %T", s)
+	}
+}
+
+func TestNewSeedAndRNGEquivalence(t *testing.T) {
+	// WithSeed(s) and WithRNG(NewRNG(s)) build identically-behaving
+	// schedulers; WithRNG wins when both are set.
+	a := MustNew(MustSpec("PN", WithSeed(99), WithGenerations(40)))
+	b := MustNew(MustSpec("PN", WithRNG(NewRNG(99)), WithGenerations(40)))
+	w, err := GenerateWorkload(WorkloadConfig{Tasks: 120, Procs: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := runDirect(t, a, w)
+	rb := runDirect(t, b, w)
+	if ra.Makespan != rb.Makespan || ra.Efficiency != rb.Efficiency {
+		t.Errorf("seed/RNG construction diverged: %v vs %v", ra.Makespan, rb.Makespan)
+	}
+}

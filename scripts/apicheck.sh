@@ -1,0 +1,37 @@
+#!/bin/sh
+# apicheck: the layering gate of the public pnsched API.
+#
+# Binaries and examples must construct schedulers through the public
+# registry (pnsched.New / pnsched.Spec), never by importing the GA
+# internals directly — otherwise the registry stops being the single
+# construction surface and scheduler changes ripple back into every
+# call site. This script fails if any package under cmd/ or examples/
+# directly imports pnsched/internal/core or pnsched/internal/ga.
+#
+# Run via `make apicheck` (which also vets) or directly:
+#
+#	sh scripts/apicheck.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+banned='pnsched/internal/core pnsched/internal/ga'
+status=0
+
+for pkg in $(go list ./cmd/... ./examples/...); do
+	imports=$(go list -f '{{range .Imports}}{{.}}
+{{end}}{{range .TestImports}}{{.}}
+{{end}}{{range .XTestImports}}{{.}}
+{{end}}' "$pkg")
+	for bad in $banned; do
+		if printf '%s\n' "$imports" | grep -qx "$bad"; then
+			echo "apicheck: $pkg imports $bad directly; construct schedulers via the pnsched registry instead" >&2
+			status=1
+		fi
+	done
+done
+
+if [ "$status" -eq 0 ]; then
+	echo "apicheck: cmd/ and examples/ are clean of internal/core and internal/ga imports"
+fi
+exit "$status"
