@@ -3,13 +3,25 @@
 
 GO ?= go
 
-.PHONY: build test lint apicheck bench bench-smoke ci
+.PHONY: build test race fuzz-smoke lint apicheck bench bench-smoke ci
 
 build:
 	$(GO) build ./...
 
 test:
+	$(GO) test ./...
+
+# The dist server/worker/watch paths are concurrency-heavy; the race
+# detector runs over the whole tree as its own CI job (and here).
+race:
 	$(GO) test -race ./...
+
+# Ten seconds of coverage-guided fuzzing over the JSON-lines wire
+# decoder (malformed hellos, oversized frames, unknown event kinds
+# must error cleanly, never panic). The seed corpus lives under
+# internal/dist/testdata/fuzz.
+fuzz-smoke:
+	$(GO) test ./internal/dist -run='^FuzzWireMessage$$' -fuzz=FuzzWireMessage -fuzztime=10s
 
 lint:
 	$(GO) vet ./...
@@ -40,4 +52,4 @@ bench-smoke:
 	$(GO) run ./cmd/pnbench -figure island -profile fast -json BENCH_island.json
 	$(GO) run ./cmd/pnbench -figure evolve -profile fast -json BENCH_evolve.json
 
-ci: build lint apicheck test bench bench-smoke
+ci: build lint apicheck test race fuzz-smoke bench bench-smoke

@@ -1,7 +1,11 @@
 package pnsched
 
 import (
+	"io"
+
 	"pnsched/internal/cluster"
+	"pnsched/internal/dist"
+	"pnsched/internal/linpack"
 	"pnsched/internal/network"
 	"pnsched/internal/observe"
 	"pnsched/internal/rng"
@@ -70,6 +74,17 @@ type (
 	Poisson          = workload.Poisson
 	Constant         = workload.Constant
 
+	// WorkerConfig configures one live worker processor for RunWorker:
+	// its name, claimed rate, time scale, and optional Execute hook
+	// that replaces the simulated sleep with real work.
+	WorkerConfig = dist.WorkerConfig
+	// WorkerStatus is a live server's point-in-time summary of one
+	// connected worker.
+	WorkerStatus = dist.WorkerStatus
+	// Watcher is a live subscription to a server's event stream,
+	// created with Watch.
+	Watcher = dist.Watcher
+
 	// Observer receives the typed events of a scheduling run; see the
 	// internal/observe package documentation for the event contract.
 	Observer = observe.Observer
@@ -84,9 +99,25 @@ type (
 	BudgetStopEvent = observe.BudgetStop
 )
 
+// ErrServerClosed is returned by Server.Wait when the server is closed
+// before all submitted tasks complete.
+var ErrServerClosed = dist.ErrServerClosed
+
+// DefaultBatchSize is the paper's batch size (200), used wherever a
+// batch scheduler does not size its own batches.
+const DefaultBatchSize = sched.DefaultBatchSize
+
 // NewRNG returns a deterministic random source. Use Stream to derive
 // independent sub-streams for separate concerns.
 func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// LinpackRate measures this machine's execution rate in Mflop/s by
+// solving an n×n Linpack system — how pnworker self-rates before
+// registering with a server.
+func LinpackRate(n int, seed uint64) (Rate, error) { return linpack.Rate(n, seed) }
+
+// ReadTasks loads a task set from pnworkload's JSON format.
+func ReadTasks(r io.Reader) ([]Task, error) { return workload.ReadJSON(r) }
 
 // MultiObserver combines observers into one that delivers every event
 // to each in order; nil entries are dropped.

@@ -2,36 +2,37 @@
 // paper's §3 as a real TCP service: it loads (or generates) a workload,
 // waits for pnworker clients to connect, schedules batches with the PN
 // genetic algorithm, and reports progress until every task completes.
+// With -watch it is instead a remote observer: it subscribes to a
+// running pnserver's event stream and prints every scheduling event as
+// it happens.
 //
 // Usage:
 //
 //	pnserver -listen :9000 -tasks 500 &
 //	pnworker -connect localhost:9000 -rate 100 &
 //	pnworker -connect localhost:9000 -rate 400 &
+//	pnserver -watch localhost:9000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
+	"os/signal"
 	"time"
 
 	"pnsched"
-	"pnsched/internal/dist"
-	"pnsched/internal/rng"
-	"pnsched/internal/sched"
-	"pnsched/internal/task"
-	"pnsched/internal/workload"
 )
 
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:9000", "address to listen on")
+		watch    = flag.String("watch", "", "watch a running server's event stream at this address instead of serving")
 		nTasks   = flag.Int("tasks", 500, "tasks to generate (ignored with -workload)")
 		wlFile   = flag.String("workload", "", "load tasks from a pnworkload JSON file")
-		batch    = flag.Int("batch", sched.DefaultBatchSize, "initial/fixed batch size")
+		batch    = flag.Int("batch", pnsched.DefaultBatchSize, "initial/fixed batch size")
 		dynamic  = flag.Bool("dynamic-batch", true, "size batches dynamically (§3.7)")
 		gens     = flag.Int("generations", 1000, "GA generations per batch")
 		islands  = flag.Int("islands", 0, "schedule with the island-model GA across this many islands (0: sequential PN, -1: one island per CPU)")
@@ -42,22 +43,25 @@ func main() {
 	)
 	flag.Parse()
 
-	var tasks []task.Task
+	if *watch != "" {
+		watchMain(*watch)
+		return
+	}
+
+	var tasks []pnsched.Task
 	if *wlFile != "" {
 		f, err := os.Open(*wlFile)
 		if err != nil {
 			fatal(err)
 		}
-		tasks, err = workload.ReadJSON(f)
+		tasks, err = pnsched.ReadTasks(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
 	} else {
-		tasks = workload.Generate(workload.Spec{
-			N:     *nTasks,
-			Sizes: workload.Uniform{Lo: 10, Hi: 1000},
-		}, rng.New(*seed))
+		tasks = pnsched.GenerateTasks(*nTasks,
+			pnsched.Uniform{Lo: 10, Hi: 1000}, pnsched.NewRNG(*seed))
 	}
 	if len(tasks) == 0 {
 		fatal(fmt.Errorf("empty workload: nothing to schedule"))
@@ -74,7 +78,7 @@ func main() {
 		pnsched.WithGenerations(*gens),
 		pnsched.WithBatch(*batch),
 		pnsched.WithDynamicBatch(*dynamic),
-		pnsched.WithRNG(rng.New(*seed).Stream(1)),
+		pnsched.WithRNG(pnsched.NewRNG(*seed).Stream(1)),
 	}
 	name := "PN"
 	if *islands != 0 {
@@ -93,33 +97,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	schd, err := pnsched.New(spec)
-	if err != nil {
-		fatal(err)
-	}
-	scheduler, ok := schd.(sched.Batch)
-	if !ok {
-		fatal(fmt.Errorf("scheduler %s is not batch-mode", schd.Name()))
-	}
-	srv, err := dist.NewServer(dist.ServerConfig{
-		Scheduler: scheduler,
-		Logf:      logf,
-	})
+	ctx, cancelSignal := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancelSignal()
+	srv, err := pnsched.Serve(ctx, spec,
+		pnsched.WithListenAddr(*listen),
+		pnsched.WithServeLog(logf))
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
-
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		fatal(err)
-	}
-	go func() {
-		if err := srv.Serve(ln); err != nil {
-			fatal(err)
-		}
-	}()
-	log.Printf("pnserver: listening on %v with %d tasks", ln.Addr(), len(tasks))
+	log.Printf("pnserver: listening on %v with %d tasks", srv.Addr(), len(tasks))
 
 	srv.Submit(tasks)
 
@@ -132,20 +119,55 @@ func main() {
 	for {
 		select {
 		case err := <-done:
-			if err != nil {
+			if err != nil && ctx.Err() == nil {
 				fatal(err)
 			}
-			sub, comp, reissued, workers := srv.Stats()
+			st := srv.Stats()
 			log.Printf("pnserver: %d/%d tasks complete (%d rescheduled) across %d workers in %v",
-				comp, sub, reissued, workers, time.Since(start).Round(time.Millisecond))
+				st.Completed, st.Submitted, st.Reissued, st.Workers, time.Since(start).Round(time.Millisecond))
 			return
 		case <-tick.C:
 			if !*quiet {
-				sub, comp, reissued, workers := srv.Stats()
-				log.Printf("pnserver: progress %d/%d (reissued %d, workers %d)", comp, sub, reissued, workers)
+				st := srv.Stats()
+				log.Printf("pnserver: progress %d/%d (reissued %d, workers %d, watchers %d)",
+					st.Completed, st.Submitted, st.Reissued, st.Workers, st.Watchers)
 			}
 		}
 	}
+}
+
+// watchMain subscribes to a running server's event stream and prints
+// every event until the server closes or the process is interrupted.
+func watchMain(addr string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	w, err := pnsched.Watch(ctx, addr, pnsched.ObserverFuncs{
+		BatchDecided: func(e pnsched.BatchDecision) {
+			log.Printf("watch: batch %d — %s placed %d tasks over %d workers (cost %v) at %v",
+				e.Invocation, e.Scheduler, e.Tasks, e.Procs, e.Cost, e.At)
+		},
+		GenerationBest: func(e pnsched.GenerationBest) {
+			log.Printf("watch: generation %d best makespan %v", e.Generation, e.Makespan)
+		},
+		Migration: func(e pnsched.MigrationEvent) {
+			log.Printf("watch: island migration round %d moved %d elites", e.Round, e.Migrants)
+		},
+		Dispatch: func(e pnsched.DispatchEvent) {
+			log.Printf("watch: task %d → worker %d at %v", e.Task, e.Proc, e.At)
+		},
+		BudgetStop: func(e pnsched.BudgetStopEvent) {
+			log.Printf("watch: GA stopped at generation %d (budget %v, spent %v)",
+				e.Generation, e.Budget, e.Spent)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("pnserver: watching %s (ctrl-c to stop)", addr)
+	if err := w.Wait(); err != nil && ctx.Err() == nil {
+		fatal(err)
+	}
+	log.Printf("pnserver: watch ended after %d events (%d dropped)", w.Frames(), w.Dropped())
 }
 
 func fatal(err error) {

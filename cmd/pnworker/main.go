@@ -18,9 +18,7 @@ import (
 	"os"
 	"os/signal"
 
-	"pnsched/internal/dist"
-	"pnsched/internal/linpack"
-	"pnsched/internal/units"
+	"pnsched"
 )
 
 func main() {
@@ -34,12 +32,12 @@ func main() {
 	flag.Parse()
 
 	if *name == "" {
-		*name = dist.Name()
+		*name = pnsched.WorkerName()
 	}
 
-	r := units.Rate(*rate)
+	r := pnsched.Rate(*rate)
 	if r <= 0 {
-		measured, err := linpack.Rate(*linpackN, uint64(os.Getpid()))
+		measured, err := pnsched.LinpackRate(*linpackN, uint64(os.Getpid()))
 		if err != nil {
 			fatal(err)
 		}
@@ -51,7 +49,7 @@ func main() {
 	defer stop()
 
 	log.Printf("pnworker %s: connecting to %s at %v", *name, *connect, r)
-	err := dist.RunWorker(ctx, *connect, dist.WorkerConfig{
+	err := pnsched.RunWorker(ctx, *connect, pnsched.WorkerConfig{
 		Name:      *name,
 		Rate:      r,
 		TimeScale: *timescale,

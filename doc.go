@@ -42,6 +42,31 @@
 //	        BatchDecided: func(e pnsched.BatchDecision) { log.Println(e.Tasks, e.Cost) },
 //	    }))
 //
+// # Live serving and remote observation
+//
+// Serve is Run's live counterpart: the same Spec (and the same
+// Validate), but scheduling real workers over TCP instead of simulated
+// processors. Workers connect with RunWorker (or the pnworker binary,
+// Linpack-rated); tasks go in with Submit and the run is tracked with
+// Wait, Stats and Workers:
+//
+//	srv, err := pnsched.Serve(ctx, spec, pnsched.WithListenAddr(":9000"))
+//	srv.Submit(tasks)
+//	err = srv.Wait(0)
+//
+// The typed Observer protocol crosses the wire too: Watch subscribes
+// to a live server's event stream and replays it into an Observer,
+// event for event, in server publication order — so instrumentation
+// written for Run works unchanged against a remote deployment
+// (pnserver -watch is exactly this). A slow watcher costs the server
+// nothing: frames that overflow its bounded queue are dropped and
+// counted (Watcher.Dropped), never blocking the scheduler:
+//
+//	w, err := pnsched.Watch(ctx, "host:9000", pnsched.ObserverFuncs{
+//	    BatchDecided: func(e pnsched.BatchDecision) { log.Println(e.Invocation, e.Tasks) },
+//	})
+//	err = w.Wait() // until the server closes or ctx cancels
+//
 // Underneath sit the internal packages: the GA engine with incremental
 // fitness evaluation (internal/ga, internal/core), the parallel island
 // model (internal/island), the discrete-event simulator

@@ -1,5 +1,6 @@
 // Distributed: run the paper's system for real — a PN scheduling
-// server and four heterogeneous workers talking JSON over loopback TCP
+// server, four heterogeneous workers, and a remote observer watching
+// the scheduler's event stream, all talking JSON over loopback TCP
 // (the §6 future-work deployment, in one process for convenience).
 // Time is compressed 1000× so the demo finishes in seconds; remove
 // -timescale in cmd/pnworker for real-time behaviour across machines.
@@ -14,61 +15,56 @@ import (
 	"errors"
 	"fmt"
 	"log"
-	"net"
 	"sync"
 	"time"
 
 	"pnsched"
-	"pnsched/internal/dist"
-	"pnsched/internal/task"
-	"pnsched/internal/units"
-	"pnsched/internal/workload"
 )
 
 func main() {
-	// The scheduler comes from the public registry; the live server
-	// emits the same typed Observer events as the simulator.
-	scheduler := pnsched.MustNew(pnsched.MustSpec("PN",
+	// The server wraps the registry-constructed PN scheduler behind
+	// the public API; everything below talks to it over TCP.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := pnsched.MustSpec("PN",
 		pnsched.WithGenerations(300),
 		pnsched.WithDynamicBatch(true),
-		pnsched.WithSeed(1)))
-	srv, err := dist.NewServer(dist.ServerConfig{
-		Scheduler: scheduler.(pnsched.BatchScheduler),
-		Logf:      log.Printf,
-		Observer: pnsched.ObserverFuncs{
-			BatchDecided: func(e pnsched.BatchDecision) {
-				log.Printf("observer: batch %d → %d tasks over %d workers (cost %v)",
-					e.Invocation, e.Tasks, e.Procs, e.Cost)
-			},
+		pnsched.WithSeed(1))
+	srv, err := pnsched.Serve(ctx, spec, pnsched.WithServeLog(log.Printf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+	fmt.Printf("scheduler listening on %s\n", addr)
+
+	// A remote observer: the same typed events an in-process Observer
+	// sees, streamed over the wire as versioned frames.
+	watcher, err := pnsched.Watch(ctx, addr, pnsched.ObserverFuncs{
+		BatchDecided: func(e pnsched.BatchDecision) {
+			log.Printf("watch: batch %d → %d tasks over %d workers (cost %v)",
+				e.Invocation, e.Tasks, e.Procs, e.Cost)
+		},
+		BudgetStop: func(e pnsched.BudgetStopEvent) {
+			log.Printf("watch: GA budget stop at generation %d", e.Generation)
 		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	go srv.Serve(ln)
-	addr := ln.Addr().String()
-	fmt.Printf("scheduler listening on %s\n", addr)
 
 	// Four workers with very different speeds; processing is
 	// compressed 1000x (1 simulated second = 1ms).
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	var wg sync.WaitGroup
-	for i, rate := range []units.Rate{40, 80, 160, 320} {
+	for i, rate := range []pnsched.Rate{40, 80, 160, 320} {
 		wg.Add(1)
-		go func(i int, rate units.Rate) {
+		go func(i int, rate pnsched.Rate) {
 			defer wg.Done()
-			err := dist.RunWorker(ctx, addr, dist.WorkerConfig{
+			err := pnsched.RunWorker(ctx, addr, pnsched.WorkerConfig{
 				Name:      fmt.Sprintf("worker-%d@%v", i, rate),
 				Rate:      rate,
 				TimeScale: 0.001, // Execute below compresses 1000x
-				Execute: func(t task.Task) time.Duration {
+				Execute: func(t pnsched.Task) time.Duration {
 					d := time.Duration(float64(t.Size.TimeOn(rate)) * float64(time.Millisecond))
 					time.Sleep(d)
 					return d
@@ -80,11 +76,9 @@ func main() {
 		}(i, rate)
 	}
 
-	tasks := workload.Generate(workload.Spec{
-		N:     400,
-		Sizes: workload.Normal{Mean: 1000, Variance: 9e5},
-	}, pnsched.NewRNG(2))
-	var total units.MFlops
+	tasks := pnsched.GenerateTasks(400,
+		pnsched.Normal{Mean: 1000, Variance: 9e5}, pnsched.NewRNG(2))
+	var total pnsched.MFlops
 	for _, t := range tasks {
 		total += t.Size
 	}
@@ -96,12 +90,15 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	sub, comp, reissued, workers := srv.Stats()
+	st := srv.Stats()
 	fmt.Printf("\ncompleted %d/%d tasks across %d workers in %v (reissued %d)\n",
-		comp, sub, workers, elapsed.Round(time.Millisecond), reissued)
+		st.Completed, st.Submitted, st.Workers, elapsed.Round(time.Millisecond), st.Reissued)
 	fmt.Println("the server rated each link and worker from live traffic (§3.6 smoothing)")
 
 	cancel()
 	srv.Close()
 	wg.Wait()
+	watcher.Wait()
+	fmt.Printf("remote observer received %d events over the wire (%d dropped)\n",
+		watcher.Frames(), watcher.Dropped())
 }

@@ -34,7 +34,9 @@
 // # Wire protocol
 //
 // The protocol is newline-delimited JSON over a single TCP connection
-// per worker ("JSON lines"): one object per line, three message types.
+// per client ("JSON lines"): one object per line, bounded at 1 MiB per
+// frame. A connection's first frame decides its role: a hello makes it
+// a worker, a watch makes it an event subscriber.
 //
 // Worker → server, once, immediately after connecting:
 //
@@ -57,6 +59,35 @@
 // grow. Either side detects the other's failure by connection error —
 // there is no separate heartbeat; an idle TCP connection is cheap and a
 // dead one surfaces on the next read or write.
+//
+// # Event streaming
+//
+// A watch client (WatchEvents, pnsched.Watch, pnserver -watch)
+// subscribes to the server's typed Observer events — the same ones an
+// in-process observer sees. The handshake exchanges protocol versions
+// (equal major required; a newer minor on either side is fine, its
+// additions are skipped):
+//
+//	{"type":"watch","proto":{"major":1,"minor":0}}     // client → server
+//	{"type":"welcome","proto":{"major":1,"minor":0}}   // server → client
+//
+// then the server streams versioned event frames, one per event, in
+// publication order, identical for every subscriber:
+//
+//	{"type":"event","v":{"major":1,"minor":0},"seq":17,"kind":"dispatch","dispatch":{"proc":3,"task":77,"at":12.5}}
+//
+// Kinds are batch_decided, generation_best, migration, dispatch and
+// budget_stop, each carrying its payload under the same-named field.
+// seq is the shared publication counter; a frame with a newer minor
+// version decodes fine (unknown fields and kinds ignored — golden
+// tests pin this), a different major is rejected at the handshake.
+//
+// Delivery to a subscriber goes through a bounded per-client send
+// queue drained by its own writer goroutine: a slow or stalled watcher
+// never back-pressures the scheduling loop. Frames that overflow the
+// queue are dropped and counted, and the cumulative count rides on
+// every subsequent frame's dropped field (so clients always know what
+// they missed; gaps in seq say which frames).
 //
 // # Time scaling
 //

@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pnsched/internal/observe"
+)
+
+// DefaultEventQueue is the per-subscriber frame buffer used when
+// Broadcaster is built with a non-positive queue size. It absorbs the
+// burst of Dispatch events a large batch decision emits back-to-back;
+// a subscriber that falls further behind than this starts losing
+// frames (counted, never blocking).
+const DefaultEventQueue = 256
+
+// Broadcaster fans the typed Observer events of one live server out to
+// any number of wire subscribers. It is the server side of the event
+// stream: the scheduler's GA events and the server's batch/dispatch
+// events all flow in through the observe.Observer interface it
+// implements, are stamped with a protocol version and a publication
+// sequence number, and are copied into every subscriber's bounded send
+// queue.
+//
+// Publication never blocks: a subscriber whose queue is full — a slow
+// or stalled watch client — loses the frame and has its drop counter
+// incremented instead, so event streaming can never back-pressure the
+// scheduling loop. Every subscriber observes the surviving frames in
+// identical order (publication order, as witnessed by strictly
+// increasing Seq values shared across subscribers).
+type Broadcaster struct {
+	queue int
+
+	mu     sync.Mutex
+	seq    uint64
+	subs   map[*eventSub]struct{}
+	closed bool
+}
+
+// eventSub is one subscriber: a bounded frame queue drained by the
+// subscriber's writer goroutine, plus the cumulative count of frames
+// dropped because the queue was full.
+type eventSub struct {
+	out     chan eventFrame
+	dropped atomic.Uint64
+}
+
+// NewBroadcaster returns a broadcaster whose subscribers buffer up to
+// queue frames each; non-positive selects DefaultEventQueue.
+func NewBroadcaster(queue int) *Broadcaster {
+	if queue <= 0 {
+		queue = DefaultEventQueue
+	}
+	return &Broadcaster{queue: queue, subs: map[*eventSub]struct{}{}}
+}
+
+// Subscribers reports the number of currently attached subscribers.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// subscribe attaches a new subscriber. Frames published from this
+// moment on are queued for it (or counted as dropped).
+func (b *Broadcaster) subscribe() *eventSub { return b.subscribeBuf(b.queue) }
+
+// subscribeBuf is subscribe with an explicit queue size, letting tests
+// pit differently-provisioned subscribers against each other.
+func (b *Broadcaster) subscribeBuf(queue int) *eventSub {
+	s := &eventSub{out: make(chan eventFrame, queue)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(s.out) // stillborn: reads see an immediately-ended stream
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// unsubscribe detaches a subscriber and closes its queue, ending its
+// writer loop. Idempotent, and safe to race with publish: both hold mu.
+func (b *Broadcaster) unsubscribe(s *eventSub) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s]; !ok {
+		return
+	}
+	delete(b.subs, s)
+	close(s.out)
+}
+
+// closeAll ends every subscriber's stream and rejects future
+// subscriptions — the broadcaster's part of Server.Close.
+func (b *Broadcaster) closeAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		delete(b.subs, s)
+		close(s.out)
+	}
+}
+
+// publish stamps one frame and copies it to every subscriber without
+// ever blocking. Holding mu across the fan-out is what gives all
+// subscribers the same frame order; the critical section is bounded
+// (non-blocking channel sends only), so event emission stays cheap for
+// the scheduling and GA goroutines delivering the events.
+func (b *Broadcaster) publish(f eventFrame) {
+	f.Type = msgEvent
+	f.V = wireVersion{Major: ProtoMajor, Minor: ProtoMinor}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.seq++
+	f.Seq = b.seq
+	for s := range b.subs {
+		select {
+		case s.out <- f:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// OnBatchDecided implements observe.Observer.
+func (b *Broadcaster) OnBatchDecided(e observe.BatchDecision) {
+	b.publish(eventFrame{Kind: kindBatchDecided, Batch: &wireBatchDecision{
+		Invocation: e.Invocation,
+		Scheduler:  e.Scheduler,
+		Tasks:      e.Tasks,
+		Procs:      e.Procs,
+		Cost:       float64(e.Cost),
+		At:         float64(e.At),
+	}})
+}
+
+// OnGenerationBest implements observe.Observer.
+func (b *Broadcaster) OnGenerationBest(e observe.GenerationBest) {
+	b.publish(eventFrame{Kind: kindGenerationBest, Generation: &wireGenerationBest{
+		Generation: e.Generation,
+		Makespan:   float64(e.Makespan),
+	}})
+}
+
+// OnMigration implements observe.Observer.
+func (b *Broadcaster) OnMigration(e observe.Migration) {
+	b.publish(eventFrame{Kind: kindMigration, Migration: &wireMigration{
+		Round:    e.Round,
+		Migrants: e.Migrants,
+	}})
+}
+
+// OnDispatch implements observe.Observer.
+func (b *Broadcaster) OnDispatch(e observe.Dispatch) {
+	b.publish(eventFrame{Kind: kindDispatch, Dispatch: &wireDispatch{
+		Proc: e.Proc,
+		Task: int32(e.Task),
+		At:   float64(e.At),
+	}})
+}
+
+// OnBudgetStop implements observe.Observer.
+func (b *Broadcaster) OnBudgetStop(e observe.BudgetStop) {
+	b.publish(eventFrame{Kind: kindBudgetStop, Budget: &wireBudgetStop{
+		Generation: e.Generation,
+		Budget:     float64(e.Budget),
+		Spent:      float64(e.Spent),
+	}})
+}

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pnsched/internal/observe"
+)
+
+// FuzzWireMessage fuzzes the JSON-lines wire decoder with arbitrary
+// frames. The invariants, whatever the input:
+//
+//   - decodeWireMessage never panics (malformed hello, truncated JSON,
+//     unknown event kinds, deeply broken frames — all must surface as
+//     a clean error or a skip, never a crash of the server or a watch
+//     client);
+//   - oversized frames always error;
+//   - anything it accepts as an event frame survives an
+//     encode→decode→deliver round trip (the frame really is
+//     well-formed, not merely non-crashing).
+//
+// The seed corpus under testdata/fuzz/FuzzWireMessage pins one
+// exemplar per message type plus the interesting malformed shapes.
+func FuzzWireMessage(f *testing.F) {
+	seeds := []string{
+		`{"type":"hello","name":"host-123","rate":314.2}`,
+		`{"type":"assign","tasks":[{"id":7,"size":420.5},{"id":12,"size":33}]}`,
+		`{"type":"done","task":7,"elapsed":1.338,"real":0.0013}`,
+		`{"type":"watch","proto":{"major":1,"minor":0}}`,
+		`{"type":"welcome","proto":{"major":1,"minor":0}}`,
+		`{"type":"event","v":{"major":1,"minor":0},"seq":1,"kind":"batch_decided","batch":{"invocation":1,"scheduler":"PN","tasks":200,"procs":50,"cost":0.1,"at":2.5}}`,
+		`{"type":"event","v":{"major":1,"minor":0},"seq":2,"kind":"dispatch","dispatch":{"proc":3,"task":0,"at":2.5}}`,
+		`{"type":"event","v":{"major":1,"minor":9},"seq":3,"kind":"from_the_future"}`,
+		`{"type":"event","v":{"major":2,"minor":0},"seq":4,"kind":"dispatch"}`,
+		`{"type":"event","v":{"major":1,"minor":0},"seq":5,"kind":"nonsense"}`,
+		`{"type":"hello","rate":-3}`,
+		`{"type":"mystery","x":1}`,
+		`{"type":""}`,
+		`{`,
+		`null`,
+		`[]`,
+		`"hello"`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Add(bytes.Repeat([]byte("A"), maxFrame+1))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		m, ev, err := decodeWireMessage(line)
+		if err != nil {
+			if m != nil || ev != nil {
+				t.Fatalf("error %v alongside a decoded frame (%v, %v)", err, m, ev)
+			}
+			return
+		}
+		if m != nil && ev != nil {
+			t.Fatal("decoded as both a control message and an event frame")
+		}
+		if len(line) > maxFrame {
+			t.Fatalf("oversized frame of %d bytes accepted", len(line))
+		}
+		if ev != nil {
+			// Accepted events must be deliverable and re-encodable.
+			ev.deliver(observe.Funcs{})
+			enc, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatalf("accepted frame does not re-encode: %v", err)
+			}
+			m2, ev2, err := decodeWireMessage(enc)
+			if err != nil || m2 != nil || ev2 == nil {
+				t.Fatalf("re-encoded frame no longer decodes: (%v, %v, %v)\n%s", m2, ev2, err, enc)
+			}
+		}
+		if m != nil && m.Type == msgAssign {
+			// Accepted assignments must convert to tasks without panic.
+			_ = fromWire(m.Tasks)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pnsched/internal/observe"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from the canonical frames")
+
+// canonicalFrames is one fully-populated frame per event kind, in the
+// exact form the broadcaster publishes (version stamped, sequence and
+// drop counters set). The golden files freeze their wire encoding: a
+// byte in them changing means the protocol changed, which requires a
+// version bump, not a silent re-record.
+func canonicalFrames() map[string]eventFrame {
+	v := wireVersion{Major: ProtoMajor, Minor: ProtoMinor}
+	return map[string]eventFrame{
+		"event_batch_decided": {Type: msgEvent, V: v, Seq: 1, Kind: kindBatchDecided,
+			Batch: &wireBatchDecision{Invocation: 3, Scheduler: "PN", Tasks: 200, Procs: 50, Cost: 0.125, At: 17.5}},
+		"event_generation_best": {Type: msgEvent, V: v, Seq: 2, Kind: kindGenerationBest,
+			Generation: &wireGenerationBest{Generation: 41, Makespan: 96.875}},
+		"event_migration": {Type: msgEvent, V: v, Seq: 3, Kind: kindMigration,
+			Migration: &wireMigration{Round: 2, Migrants: 8}},
+		"event_dispatch": {Type: msgEvent, V: v, Seq: 4, Dropped: 7, Kind: kindDispatch,
+			Dispatch: &wireDispatch{Proc: 12, Task: 0, At: 18.25}},
+		"event_budget_stop": {Type: msgEvent, V: v, Seq: 5, Kind: kindBudgetStop,
+			Budget: &wireBudgetStop{Generation: 77, Budget: 1.5, Spent: 1.4375}},
+	}
+}
+
+// TestGoldenEventFrames freezes the wire encoding of every event kind:
+// encoding the canonical frame must reproduce the golden bytes, and
+// decode→encode of the golden bytes must be byte-identical (a pure
+// round trip — nothing is lost, reordered, or defaulted differently).
+func TestGoldenEventFrames(t *testing.T) {
+	for name, frame := range canonicalFrames() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", name+".json")
+			encoded, err := json.Marshal(&frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			encoded = append(encoded, '\n') // json.Encoder's line framing
+			if *updateGolden {
+				if err := os.WriteFile(path, encoded, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(encoded, golden) {
+				t.Errorf("encoding changed:\n got %s\nwant %s", encoded, golden)
+			}
+
+			// Round trip through the real decoder.
+			m, ev, err := decodeWireMessage(bytes.TrimSuffix(golden, []byte("\n")))
+			if err != nil || m != nil || ev == nil {
+				t.Fatalf("decodeWireMessage(golden) = (%v, %v, %v), want an event frame", m, ev, err)
+			}
+			again, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again = append(again, '\n')
+			if !bytes.Equal(again, golden) {
+				t.Errorf("decode→encode not byte-identical:\n got %s\nwant %s", again, golden)
+			}
+		})
+	}
+}
+
+// TestGoldenFutureMinor decodes frames recorded as if sent by a server
+// speaking a NEWER minor version of the protocol: known kinds carrying
+// unknown extra fields must decode to the known payload (extra fields
+// ignored), and an entirely unknown kind must be skippable — no error,
+// delivered as a no-op — rather than breaking the stream.
+func TestGoldenFutureMinor(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", "future_minor.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("future_minor.jsonl holds %d frames, want at least a known and an unknown kind", len(lines))
+	}
+	var delivered int
+	obs := observe.Funcs{
+		BatchDecided:   func(observe.BatchDecision) { delivered++ },
+		GenerationBest: func(observe.GenerationBest) { delivered++ },
+		Migration:      func(observe.Migration) { delivered++ },
+		Dispatch:       func(observe.Dispatch) { delivered++ },
+		BudgetStop:     func(observe.BudgetStop) { delivered++ },
+	}
+	for i, line := range lines {
+		m, ev, err := decodeWireMessage(line)
+		if err != nil {
+			t.Fatalf("frame %d from a newer-minor server rejected: %v\n%s", i, err, line)
+		}
+		if m != nil {
+			t.Fatalf("frame %d decoded as a control message: %s", i, line)
+		}
+		if ev != nil {
+			ev.deliver(obs)
+		}
+	}
+	if delivered == 0 {
+		t.Error("no known-kind event survived the newer-minor stream; extra fields must be ignored, not fatal")
+	}
+}
+
+// TestEventFrameValidation covers the rejection rules: wrong major,
+// unknown kind at our own minor, missing payload, missing kind.
+func TestEventFrameValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"wrong major", `{"type":"event","v":{"major":2,"minor":0},"seq":1,"kind":"dispatch","dispatch":{"proc":0,"task":1,"at":0}}`},
+		{"unknown kind at own minor", `{"type":"event","v":{"major":1,"minor":0},"seq":1,"kind":"topology_changed"}`},
+		{"missing payload", `{"type":"event","v":{"major":1,"minor":0},"seq":1,"kind":"dispatch"}`},
+		{"missing kind", `{"type":"event","v":{"major":1,"minor":0},"seq":1}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, ev, err := decodeWireMessage([]byte(c.line)); err == nil {
+				t.Fatalf("accepted invalid event frame (%+v): %s", ev, c.line)
+			}
+		})
+	}
+}

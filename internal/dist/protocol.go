@@ -1,12 +1,14 @@
 package dist
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 
+	"pnsched/internal/observe"
 	"pnsched/internal/task"
 	"pnsched/internal/units"
 )
@@ -14,15 +16,38 @@ import (
 // Message types of the JSON-lines wire protocol (see the package
 // documentation for the full grammar).
 const (
-	msgHello  = "hello"  // worker → server: registration
-	msgAssign = "assign" // server → worker: batch of tasks to queue
-	msgDone   = "done"   // worker → server: one task completed
+	msgHello   = "hello"   // worker → server: registration
+	msgAssign  = "assign"  // server → worker: batch of tasks to queue
+	msgDone    = "done"    // worker → server: one task completed
+	msgWatch   = "watch"   // watch client → server: event subscription
+	msgWelcome = "welcome" // server → watch client: subscription accepted
+	msgEvent   = "event"   // server → watch client: one observer event
 )
 
-// message is the single envelope for every protocol message; Type
-// selects which of the remaining fields are meaningful. Using one
-// envelope keeps decoding trivial (no two-pass tag dispatch) at the cost
-// of a few always-empty fields per line.
+// Event-stream protocol version, carried on the watch handshake and on
+// every event frame. A peer speaking a different major version is
+// incompatible and rejected; a peer with a newer minor version may send
+// event kinds and fields this side does not know, which are skipped
+// (fields by encoding/json's default behaviour, kinds by deliver).
+const (
+	ProtoMajor = 1
+	ProtoMinor = 0
+)
+
+// maxFrame bounds one JSON-lines frame. Frames beyond it are a protocol
+// error: the largest legitimate frame — an assign batch of a few
+// thousand tasks — stays well under it, and the bound keeps a malicious
+// or broken peer from ballooning server memory one line at a time.
+const maxFrame = 1 << 20
+
+// errFrameTooBig is returned for frames exceeding maxFrame.
+var errFrameTooBig = fmt.Errorf("dist: frame exceeds %d bytes", maxFrame)
+
+// message is the single envelope for every client↔server control
+// message; Type selects which of the remaining fields are meaningful.
+// Using one envelope keeps decoding trivial (no two-pass tag dispatch)
+// at the cost of a few always-empty fields per line. Event frames are
+// the exception: they have their own versioned struct (eventFrame).
 type message struct {
 	Type string `json:"type"`
 
@@ -42,6 +67,281 @@ type message struct {
 	// estimate, which keeps the estimate meaningful under compressed
 	// TimeScale. Zero (absent) skips the observation.
 	Real float64 `json:"real,omitempty"`
+
+	// watch / welcome
+	Proto *wireVersion `json:"proto,omitempty"`
+}
+
+// wireVersion is the event-stream protocol version of a peer.
+type wireVersion struct {
+	Major int `json:"major"`
+	Minor int `json:"minor"`
+}
+
+// compatible reports whether a peer's version can be spoken to: equal
+// major, any minor (newer minors only add frames and fields, which the
+// decoder skips).
+func (v wireVersion) compatible() error {
+	if v.Major != ProtoMajor {
+		return fmt.Errorf("dist: protocol version %d.%d incompatible with %d.%d",
+			v.Major, v.Minor, ProtoMajor, ProtoMinor)
+	}
+	return nil
+}
+
+// Event kinds carried by eventFrame, one per observe.Observer method.
+const (
+	kindBatchDecided   = "batch_decided"
+	kindGenerationBest = "generation_best"
+	kindMigration      = "migration"
+	kindDispatch       = "dispatch"
+	kindBudgetStop     = "budget_stop"
+)
+
+// eventFrame is the versioned server→client wire form of one Observer
+// event. Exactly one payload pointer is set, selected by Kind; new
+// kinds or payload fields may only be added under a new minor version,
+// so old clients can skip what they do not understand while anything
+// they do decode means what it always meant.
+type eventFrame struct {
+	Type string      `json:"type"` // always "event"
+	V    wireVersion `json:"v"`
+	// Seq numbers frames in publication order, identically for every
+	// subscriber of one server. Gaps at a given client correspond to
+	// frames dropped for that client (see Dropped).
+	Seq uint64 `json:"seq"`
+	// Dropped is the cumulative number of frames the server has
+	// discarded for THIS subscriber because its send queue was full —
+	// the drop-and-count policy that keeps a slow watcher from ever
+	// stalling scheduling.
+	Dropped uint64 `json:"dropped,omitempty"`
+	Kind    string `json:"kind"`
+
+	Batch      *wireBatchDecision  `json:"batch,omitempty"`
+	Generation *wireGenerationBest `json:"generation,omitempty"`
+	Migration  *wireMigration      `json:"migration,omitempty"`
+	Dispatch   *wireDispatch       `json:"dispatch,omitempty"`
+	Budget     *wireBudgetStop     `json:"budget,omitempty"`
+}
+
+// The event payloads mirror internal/observe's types field for field,
+// flattened onto plain JSON scalars so the wire format is independent
+// of the unit types' Go representation.
+
+type wireBatchDecision struct {
+	Invocation int     `json:"invocation"`
+	Scheduler  string  `json:"scheduler"`
+	Tasks      int     `json:"tasks"`
+	Procs      int     `json:"procs"`
+	Cost       float64 `json:"cost"`
+	At         float64 `json:"at"`
+}
+
+type wireGenerationBest struct {
+	Generation int     `json:"generation"`
+	Makespan   float64 `json:"makespan"`
+}
+
+type wireMigration struct {
+	Round    int `json:"round"`
+	Migrants int `json:"migrants"`
+}
+
+type wireDispatch struct {
+	Proc int     `json:"proc"`
+	Task int32   `json:"task"`
+	At   float64 `json:"at"`
+}
+
+type wireBudgetStop struct {
+	Generation int     `json:"generation"`
+	Budget     float64 `json:"budget"`
+	Spent      float64 `json:"spent"`
+}
+
+// validate checks an event frame's internal consistency: version
+// compatibility and that the payload matching Kind is present. An
+// unknown kind is an error at this side's minor version — the peer is
+// not newer, so the kind cannot be legitimate — but is silently
+// skippable when the frame declares a newer minor (deliver handles
+// that case; validate only rejects what can never be understood).
+func (f *eventFrame) validate() error {
+	if err := f.V.compatible(); err != nil {
+		return err
+	}
+	var missing bool
+	switch f.Kind {
+	case kindBatchDecided:
+		missing = f.Batch == nil
+	case kindGenerationBest:
+		missing = f.Generation == nil
+	case kindMigration:
+		missing = f.Migration == nil
+	case kindDispatch:
+		missing = f.Dispatch == nil
+	case kindBudgetStop:
+		missing = f.Budget == nil
+	case "":
+		return errors.New("dist: event frame without kind")
+	default:
+		if f.V.Minor > ProtoMinor {
+			return nil // a newer peer's kind: skippable, not invalid
+		}
+		return fmt.Errorf("dist: unknown event kind %q at protocol %d.%d",
+			f.Kind, f.V.Major, f.V.Minor)
+	}
+	if missing {
+		return fmt.Errorf("dist: event frame kind %q missing its payload", f.Kind)
+	}
+	return nil
+}
+
+// deliver dispatches a validated frame to an observer. Kinds from a
+// newer minor version are skipped silently — the forward-compatibility
+// contract of the event stream.
+func (f *eventFrame) deliver(o observe.Observer) {
+	if o == nil {
+		return
+	}
+	switch f.Kind {
+	case kindBatchDecided:
+		b := f.Batch
+		o.OnBatchDecided(observe.BatchDecision{
+			Invocation: b.Invocation,
+			Scheduler:  b.Scheduler,
+			Tasks:      b.Tasks,
+			Procs:      b.Procs,
+			Cost:       units.Seconds(b.Cost),
+			At:         units.Seconds(b.At),
+		})
+	case kindGenerationBest:
+		o.OnGenerationBest(observe.GenerationBest{
+			Generation: f.Generation.Generation,
+			Makespan:   units.Seconds(f.Generation.Makespan),
+		})
+	case kindMigration:
+		o.OnMigration(observe.Migration{
+			Round:    f.Migration.Round,
+			Migrants: f.Migration.Migrants,
+		})
+	case kindDispatch:
+		o.OnDispatch(observe.Dispatch{
+			Proc: f.Dispatch.Proc,
+			Task: task.ID(f.Dispatch.Task),
+			At:   units.Seconds(f.Dispatch.At),
+		})
+	case kindBudgetStop:
+		o.OnBudgetStop(observe.BudgetStop{
+			Generation: f.Budget.Generation,
+			Budget:     units.Seconds(f.Budget.Budget),
+			Spent:      units.Seconds(f.Budget.Spent),
+		})
+	}
+}
+
+// decodeWireMessage parses and validates one wire frame. Exactly one of
+// msg and ev is non-nil on success: msg for the control envelope
+// (hello, assign, done, watch, welcome), ev for event frames. A frame
+// whose type is unknown decodes to (nil, nil, nil) so readers skip it —
+// the forward-compatibility rule the protocol has always had — while
+// malformed JSON, oversized frames, and structurally invalid known
+// types error. It never panics, whatever the input (FuzzWireMessage).
+func decodeWireMessage(line []byte) (msg *message, ev *eventFrame, err error) {
+	if len(line) > maxFrame {
+		return nil, nil, errFrameTooBig
+	}
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return nil, nil, fmt.Errorf("dist: malformed frame: %w", err)
+	}
+	switch probe.Type {
+	case "":
+		return nil, nil, errors.New("dist: frame without type")
+	case msgEvent:
+		var f eventFrame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return nil, nil, fmt.Errorf("dist: malformed event frame: %w", err)
+		}
+		if err := f.validate(); err != nil {
+			return nil, nil, err
+		}
+		return nil, &f, nil
+	case msgHello, msgAssign, msgDone, msgWatch, msgWelcome:
+		var m message
+		if err := json.Unmarshal(line, &m); err != nil {
+			return nil, nil, fmt.Errorf("dist: malformed %s frame: %w", probe.Type, err)
+		}
+		if err := m.validate(); err != nil {
+			return nil, nil, err
+		}
+		return &m, nil, nil
+	default:
+		return nil, nil, nil // unknown type: skip, the protocol can evolve
+	}
+}
+
+// validate applies the per-type structural rules of the control
+// envelope.
+func (m *message) validate() error {
+	switch m.Type {
+	case msgHello:
+		if m.Name == "" {
+			return errors.New("dist: hello with empty worker name")
+		}
+		if m.Rate <= 0 {
+			return fmt.Errorf("dist: worker %s claimed non-positive rate %v", m.Name, m.Rate)
+		}
+	case msgAssign:
+		for _, w := range m.Tasks {
+			if w.ID < 0 || w.Size < 0 {
+				return fmt.Errorf("dist: assign with invalid task {id %d, size %v}", w.ID, w.Size)
+			}
+		}
+	case msgDone:
+		if m.Task < 0 {
+			return fmt.Errorf("dist: done with negative task id %d", m.Task)
+		}
+		if m.Elapsed < 0 || m.Real < 0 {
+			return fmt.Errorf("dist: done for task %d with negative times (elapsed %v, real %v)",
+				m.Task, m.Elapsed, m.Real)
+		}
+	case msgWatch, msgWelcome:
+		if m.Proto == nil {
+			return fmt.Errorf("dist: %s without protocol version", m.Type)
+		}
+		return m.Proto.compatible()
+	}
+	return nil
+}
+
+// readFrame reads one newline-terminated frame from br, enforcing
+// maxFrame. The trailing newline is stripped. It is the single framing
+// point for every untrusted read path (server-side connections, the
+// watch client).
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var frame []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		frame = append(frame, chunk...)
+		// maxFrame bounds the payload; +1 admits the newline, so the
+		// limit here matches decodeWireMessage's exactly.
+		if len(frame) > maxFrame+1 {
+			return nil, errFrameTooBig
+		}
+		switch err {
+		case nil:
+			return frame[:len(frame)-1], nil
+		case bufio.ErrBufferFull:
+			continue // long line: keep accumulating up to maxFrame
+		default:
+			if len(frame) > 0 && err == io.EOF {
+				return nil, io.ErrUnexpectedEOF // mid-frame hangup
+			}
+			return nil, err
+		}
+	}
 }
 
 // wireTask is the on-the-wire form of a task. Arrival is deliberately
@@ -66,25 +366,6 @@ func fromWire(ws []wireTask) []task.Task {
 		out[i] = task.Task{ID: task.ID(w.ID), Size: units.MFlops(w.Size)}
 	}
 	return out
-}
-
-// readHello decodes the first message on a fresh connection and verifies
-// it is a well-formed registration.
-func readHello(dec *json.Decoder) (name string, rate units.Rate, err error) {
-	var m message
-	if err := dec.Decode(&m); err != nil {
-		return "", 0, fmt.Errorf("dist: reading hello: %w", err)
-	}
-	if m.Type != msgHello {
-		return "", 0, fmt.Errorf("dist: expected %q message, got %q", msgHello, m.Type)
-	}
-	if m.Name == "" {
-		return "", 0, fmt.Errorf("dist: hello with empty worker name")
-	}
-	if m.Rate <= 0 {
-		return "", 0, fmt.Errorf("dist: worker %s claimed non-positive rate %v", m.Name, m.Rate)
-	}
-	return m.Name, units.Rate(m.Rate), nil
 }
 
 // isClosedErr reports whether err looks like the normal teardown of a

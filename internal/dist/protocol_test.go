@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bufio"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -42,14 +43,13 @@ func TestDoneMessagePreservesTaskZero(t *testing.T) {
 	}
 }
 
-func TestReadHelloValidation(t *testing.T) {
+func TestHelloValidation(t *testing.T) {
 	cases := []struct {
 		name string
 		line string
 		ok   bool
 	}{
 		{"valid", `{"type":"hello","name":"w1","rate":100}`, true},
-		{"wrong type", `{"type":"done","task":1}`, false},
 		{"empty name", `{"type":"hello","rate":100}`, false},
 		{"zero rate", `{"type":"hello","name":"w1"}`, false},
 		{"negative rate", `{"type":"hello","name":"w1","rate":-5}`, false},
@@ -57,16 +57,35 @@ func TestReadHelloValidation(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			name, rate, err := readHello(json.NewDecoder(strings.NewReader(c.line)))
+			m, _, err := decodeWireMessage([]byte(c.line))
 			if c.ok && err != nil {
-				t.Fatalf("readHello(%s) = %v", c.line, err)
+				t.Fatalf("decodeWireMessage(%s) = %v", c.line, err)
 			}
 			if !c.ok && err == nil {
-				t.Fatalf("readHello(%s) accepted invalid hello (%q, %v)", c.line, name, rate)
+				t.Fatalf("decodeWireMessage(%s) accepted invalid hello (%+v)", c.line, m)
 			}
-			if c.ok && (name != "w1" || rate != units.Rate(100)) {
-				t.Errorf("readHello = %q, %v; want w1, 100", name, rate)
+			if c.ok && (m.Name != "w1" || units.Rate(m.Rate) != units.Rate(100)) {
+				t.Errorf("decoded hello = %q, %v; want w1, 100", m.Name, m.Rate)
 			}
 		})
+	}
+}
+
+func TestDecodeWireMessageSkipsUnknownTypes(t *testing.T) {
+	m, ev, err := decodeWireMessage([]byte(`{"type":"heartbeat","beat":3}`))
+	if m != nil || ev != nil || err != nil {
+		t.Fatalf("unknown frame type decoded to (%v, %v, %v); want all nil (skip)", m, ev, err)
+	}
+}
+
+func TestReadFrameBounds(t *testing.T) {
+	big := strings.Repeat("x", maxFrame+2) + "\n"
+	if _, err := readFrame(bufio.NewReader(strings.NewReader(big))); err != errFrameTooBig {
+		t.Fatalf("oversized frame read error = %v, want errFrameTooBig", err)
+	}
+	br := bufio.NewReader(strings.NewReader("{\"type\":\"hello\"}\nrest"))
+	line, err := readFrame(br)
+	if err != nil || string(line) != `{"type":"hello"}` {
+		t.Fatalf("readFrame = %q, %v", line, err)
 	}
 }

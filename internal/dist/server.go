@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -48,6 +49,13 @@ type ServerConfig struct {
 	// delivered from the scheduling loop goroutine, outside the
 	// server's lock; implementations must not block.
 	Observer observe.Observer
+	// Events, when non-nil, turns on remote observation: the server
+	// accepts watch connections (the msgWatch handshake) and streams
+	// its events — the same ones Observer sees, plus whatever the
+	// scheduler publishes into the broadcaster — to every subscriber
+	// as versioned event frames. Watch connections arriving while
+	// Events is nil are rejected.
+	Events *Broadcaster
 	// Nu is the exponential-smoothing factor for observed worker rates
 	// and link overheads; 0 selects DefaultNu.
 	Nu float64
@@ -68,6 +76,10 @@ type Server struct {
 	cfg     ServerConfig
 	nu      float64
 	backlog int
+	// observer is the effective event sink: cfg.Observer fanned
+	// together with cfg.Events, so every server-emitted event reaches
+	// both the in-process observer and the wire subscribers.
+	observer observe.Observer
 
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast on every state change
@@ -146,6 +158,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		backlog: backlog,
 		queue:   task.NewQueue(64),
 		start:   time.Now(),
+	}
+	s.observer = cfg.Observer
+	if cfg.Events != nil {
+		s.observer = observe.Multi(cfg.Observer, cfg.Events)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	go s.scheduleLoop()
@@ -287,9 +303,9 @@ func (s *Server) Workers() []WorkerStatus {
 	return out
 }
 
-// Close shuts the server down: the listener is closed, every worker
-// connection is dropped, and blocked Wait calls return ErrServerClosed.
-// Close is idempotent.
+// Close shuts the server down: the listener is closed, every worker and
+// watch connection is dropped, and blocked Wait calls return
+// ErrServerClosed. Close is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -311,6 +327,11 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
+	if s.cfg.Events != nil {
+		// Ending each subscriber's queue ends its writer loop, which
+		// closes the watch connection.
+		s.cfg.Events.closeAll()
+	}
 	return nil
 }
 
@@ -321,12 +342,22 @@ func (s *Server) Close() error {
 // them).
 const helloTimeout = 10 * time.Second
 
-// handleConn owns one worker connection: registration, the read loop
-// for done messages, and teardown with task reissue.
+// handleConn owns one inbound connection. The first frame decides what
+// the peer is: a hello registers a worker, a watch subscribes an event
+// stream; anything else is rejected. Both paths read through the same
+// bounded framing, so no client — registered or not — can make the
+// server buffer an unbounded line.
 func (s *Server) handleConn(conn net.Conn) {
 	conn.SetReadDeadline(time.Now().Add(helloTimeout))
-	dec := json.NewDecoder(conn)
-	name, claimed, err := readHello(dec)
+	br := bufio.NewReader(conn)
+	line, err := readFrame(br)
+	var m *message
+	if err == nil {
+		m, _, err = decodeWireMessage(line)
+		if err == nil && m == nil {
+			err = errors.New("dist: connection opened with a non-handshake frame")
+		}
+	}
 	if err != nil {
 		if !isClosedErr(err) {
 			s.logf("dist: rejecting connection from %v: %v", conn.RemoteAddr(), err)
@@ -334,8 +365,23 @@ func (s *Server) handleConn(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	conn.SetReadDeadline(time.Time{}) // registered: read blocks indefinitely
+	conn.SetReadDeadline(time.Time{}) // handshake done: read blocks indefinitely
 
+	switch m.Type {
+	case msgHello:
+		s.serveWorker(conn, br, m.Name, units.Rate(m.Rate))
+	case msgWatch:
+		s.serveWatch(conn, br)
+	default:
+		s.logf("dist: rejecting connection from %v: first frame %q is not a handshake",
+			conn.RemoteAddr(), m.Type)
+		conn.Close()
+	}
+}
+
+// serveWorker registers a worker and runs its read loop (done messages)
+// until the connection drops, then tears it down with task reissue.
+func (s *Server) serveWorker(conn net.Conn, br *bufio.Reader, name string, claimed units.Rate) {
 	w := &remoteWorker{
 		name:        name,
 		claimed:     claimed,
@@ -360,23 +406,83 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	go s.writeLoop(w)
 
-	// Read loop: done messages until the connection drops.
+	// Read loop: done messages until the connection drops. Unknown
+	// frame types decode to (nil, nil, nil) and are skipped, so the
+	// protocol can evolve; malformed or oversized frames drop the
+	// worker (its tasks are reissued).
 	for {
-		var m message
-		if err := dec.Decode(&m); err != nil {
+		line, err := readFrame(br)
+		if err != nil {
 			if !isClosedErr(err) {
 				s.logf("dist: worker %s read error: %v", name, err)
 			}
 			break
 		}
-		switch m.Type {
-		case msgDone:
+		m, _, err := decodeWireMessage(line)
+		if err != nil {
+			s.logf("dist: worker %s sent bad frame: %v", name, err)
+			break
+		}
+		if m != nil && m.Type == msgDone {
 			s.handleDone(w, task.ID(m.Task), units.Seconds(m.Elapsed), m.Real)
-		default:
-			// Unknown types are ignored so the protocol can evolve.
 		}
 	}
 	s.unregister(w)
+}
+
+// serveWatch subscribes one watch client to the event broadcaster and
+// streams frames to it until either side hangs up. The writer (this
+// goroutine) stamps each frame with the client's cumulative drop count
+// as it leaves; a reader goroutine watches the connection purely to
+// detect disconnection, so an abandoned watcher is unsubscribed
+// promptly instead of drop-counting forever.
+func (s *Server) serveWatch(conn net.Conn, br *bufio.Reader) {
+	b := s.cfg.Events
+	if b == nil {
+		s.logf("dist: rejecting watch from %v: event streaming not enabled", conn.RemoteAddr())
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		conn.Close()
+		return
+	}
+	s.logf("dist: watch client %v subscribed", conn.RemoteAddr())
+	sub := b.subscribe()
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(&message{
+		Type:  msgWelcome,
+		Proto: &wireVersion{Major: ProtoMajor, Minor: ProtoMinor},
+	}); err != nil {
+		b.unsubscribe(sub)
+		conn.Close()
+		return
+	}
+
+	go func() {
+		// Drain (and ignore) anything the client sends; a read error
+		// means it is gone.
+		for {
+			if _, err := readFrame(br); err != nil {
+				break
+			}
+		}
+		b.unsubscribe(sub)
+		conn.Close()
+	}()
+
+	for f := range sub.out {
+		f.Dropped = sub.dropped.Load()
+		if err := enc.Encode(&f); err != nil {
+			break
+		}
+	}
+	b.unsubscribe(sub)
+	conn.Close()
+	s.logf("dist: watch client %v unsubscribed", conn.RemoteAddr())
 }
 
 // writeLoop drains a worker's outbound queue onto its connection. A
@@ -498,8 +604,8 @@ func (s *Server) scheduleLoop() {
 		s.logf("dist: scheduled batch of %d tasks across %d workers (modelled cost %v)",
 			len(batch), snap.M(), cost)
 		invocations++
-		if s.cfg.Observer != nil {
-			s.cfg.Observer.OnBatchDecided(observe.BatchDecision{
+		if s.observer != nil {
+			s.observer.OnBatchDecided(observe.BatchDecision{
 				Invocation: invocations,
 				Scheduler:  s.cfg.Scheduler.Name(),
 				Tasks:      len(batch),
@@ -512,9 +618,9 @@ func (s *Server) scheduleLoop() {
 		s.mu.Lock()
 		dispatched := s.dispatchLocked(snap.workers, asg)
 		s.mu.Unlock()
-		if s.cfg.Observer != nil {
+		if s.observer != nil {
 			for _, d := range dispatched {
-				s.cfg.Observer.OnDispatch(d)
+				s.observer.OnDispatch(d)
 			}
 		}
 	}
@@ -556,7 +662,7 @@ func (s *Server) dispatchLocked(workers []*remoteWorker, asg sched.Assignment) [
 			w.outstanding[t.ID] = pendingTask{t: t, sentAt: now, soloDispatch: solo}
 			w.pending += t.Size
 			solo = false
-			if s.cfg.Observer != nil {
+			if s.observer != nil {
 				events = append(events, observe.Dispatch{Proc: j, Task: t.ID, At: at})
 			}
 		}

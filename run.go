@@ -127,9 +127,8 @@ func WithTimeline(tl *Timeline) RunOption { return func(r *runOpts) { r.timeline
 //
 // Every event source is wired to the same observer: the simulator's
 // batch decisions and dispatches, and the GA scheduler's generation /
-// migration / budget events. For the live TCP runtime, build the
-// scheduler with New (attaching WithObserver) and hand it to
-// dist.NewServer instead — the server emits the same typed events.
+// migration / budget events. For the live TCP runtime use Serve — the
+// server emits the same typed events, in-process and over the wire.
 func Run(ctx context.Context, spec Spec, w Workload, opts ...RunOption) (Result, error) {
 	var ro runOpts
 	for _, o := range opts {

@@ -5,8 +5,12 @@
 # registry (pnsched.New / pnsched.Spec), never by importing the GA
 # internals directly — otherwise the registry stops being the single
 # construction surface and scheduler changes ripple back into every
-# call site. This script fails if any package under cmd/ or examples/
-# directly imports pnsched/internal/core or pnsched/internal/ga.
+# call site. The same holds for the live runtime: pnsched.Serve /
+# Watch / RunWorker are the public surface of internal/dist, so a cmd
+# or example importing dist directly would bypass the Spec validation
+# and observer wiring Serve guarantees. This script fails if any
+# package under cmd/ or examples/ directly imports
+# pnsched/internal/core, pnsched/internal/ga, or pnsched/internal/dist.
 #
 # Run via `make apicheck` (which also vets) or directly:
 #
@@ -15,7 +19,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-banned='pnsched/internal/core pnsched/internal/ga'
+banned='pnsched/internal/core pnsched/internal/ga pnsched/internal/dist'
 status=0
 
 for pkg in $(go list ./cmd/... ./examples/...); do
@@ -32,6 +36,6 @@ for pkg in $(go list ./cmd/... ./examples/...); do
 done
 
 if [ "$status" -eq 0 ]; then
-	echo "apicheck: cmd/ and examples/ are clean of internal/core and internal/ga imports"
+	echo "apicheck: cmd/ and examples/ are clean of internal/core, internal/ga and internal/dist imports"
 fi
 exit "$status"

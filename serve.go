@@ -1,0 +1,229 @@
+package pnsched
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pnsched/internal/dist"
+	"pnsched/internal/observe"
+)
+
+// ServeOption adjusts one Serve invocation; see the WithServe* and
+// WithListen* functions.
+type ServeOption func(*serveOpts)
+
+type serveOpts struct {
+	addr     string
+	ln       net.Listener
+	logf     func(format string, args ...any)
+	observer Observer
+	nu       float64
+	backlog  int
+	queue    int
+}
+
+// WithListenAddr sets the TCP address the server listens on. The
+// default is "127.0.0.1:0" — an ephemeral loopback port, read back
+// with Server.Addr — so tests and single-machine demos need no
+// configuration; production servers pass ":9000"-style addresses.
+func WithListenAddr(addr string) ServeOption { return func(o *serveOpts) { o.addr = addr } }
+
+// WithListener hands Serve an existing listener instead of an address;
+// the server takes ownership and closes it on Close.
+func WithListener(ln net.Listener) ServeOption { return func(o *serveOpts) { o.ln = ln } }
+
+// WithServeLog receives the server's progress logging (worker joins
+// and leaves, batch dispatches, reissues, watch subscriptions). The
+// default is silent.
+func WithServeLog(logf func(format string, args ...any)) ServeOption {
+	return func(o *serveOpts) { o.logf = logf }
+}
+
+// WithServeObserver delivers the run's events to an in-process
+// observer, in addition to any observer already attached to the Spec
+// and to every remote watch client.
+func WithServeObserver(obs Observer) ServeOption { return func(o *serveOpts) { o.observer = obs } }
+
+// WithSmoothing sets the §3.6 exponential-smoothing factor ν for
+// observed worker rates and link overheads (0 selects the paper's
+// 0.5).
+func WithSmoothing(nu float64) ServeOption { return func(o *serveOpts) { o.nu = nu } }
+
+// WithBacklog sets the per-worker outstanding-task threshold that
+// paces dispatch (0 selects the default of 4).
+func WithBacklog(n int) ServeOption { return func(o *serveOpts) { o.backlog = n } }
+
+// WithEventQueue sets the per-watch-client event buffer, in frames.
+// A client that falls further behind than this loses frames — counted
+// in its stream's Dropped field, never blocking the scheduler. 0
+// selects the default (dist.DefaultEventQueue, 256).
+func WithEventQueue(frames int) ServeOption { return func(o *serveOpts) { o.queue = frames } }
+
+// ServerStats is a point-in-time summary of a live server.
+type ServerStats struct {
+	// Submitted, Completed and Reissued count tasks over the server's
+	// lifetime; Reissued counts tasks rescheduled after their worker
+	// disconnected.
+	Submitted, Completed, Reissued int
+	// Workers is the number of currently connected workers, Watchers
+	// the number of currently subscribed event-stream clients.
+	Workers, Watchers int
+}
+
+// Server is a live scheduling server started with Serve — the paper's
+// §3 dedicated scheduling processor as a public API. Workers connect
+// with RunWorker (or the pnworker binary); remote observers connect
+// with Watch. All methods are safe for concurrent use.
+type Server struct {
+	srv    *dist.Server
+	events *dist.Broadcaster
+	addr   net.Addr
+	stop   func() bool // detaches the context watcher
+
+	closeOnce sync.Once
+	closeErr  error
+	serveErr  chan error
+}
+
+// Serve starts the live counterpart of Run: it constructs the batch
+// scheduler the spec names via the registry, binds a TCP listener, and
+// schedules every submitted task over the workers that connect, until
+// Close. The same Spec vocabulary and Validate rules as Run apply;
+// immediate-mode schedulers (EF, LL, RR, MET, OLB, KPB), which have no
+// batch form for the server to drive, are additionally rejected.
+//
+// Every event source is wired to the same places Run wires them, plus
+// the wire: GA generation/migration/budget events from the scheduler
+// and batch-decided/dispatch events from the server reach the Spec's
+// observer, any WithServeObserver observer, and — as versioned event
+// frames — every remote client subscribed with Watch.
+//
+// Cancelling ctx closes the server, releasing workers, watchers and
+// blocked Wait calls.
+func Serve(ctx context.Context, spec Spec, opts ...ServeOption) (*Server, error) {
+	so := serveOpts{addr: "127.0.0.1:0"}
+	for _, o := range opts {
+		o(&so)
+	}
+
+	events := dist.NewBroadcaster(so.queue)
+	// The scheduler publishes its GA-level events straight into the
+	// broadcaster (and the in-process observers); the server's own
+	// events reach the broadcaster via ServerConfig.Events.
+	local := observe.Multi(spec.observer, so.observer)
+	spec.observer = observe.Multi(local, events)
+	sch, err := New(spec)
+	if err != nil {
+		return nil, err
+	}
+	batch, ok := sch.(BatchScheduler)
+	if !ok {
+		return nil, fmt.Errorf("pnsched: scheduler %s is immediate-mode; Serve needs a batch scheduler", sch.Name())
+	}
+	srv, err := dist.NewServer(dist.ServerConfig{
+		Scheduler: batch,
+		Logf:      so.logf,
+		Observer:  local,
+		Events:    events,
+		Nu:        so.nu,
+		Backlog:   so.backlog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln := so.ln
+	if ln == nil {
+		ln, err = net.Listen("tcp", so.addr)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+
+	s := &Server{srv: srv, events: events, addr: ln.Addr(), serveErr: make(chan error, 1)}
+	go func() { s.serveErr <- srv.Serve(ln) }()
+	if ctx != nil && ctx.Done() != nil {
+		s.stop = context.AfterFunc(ctx, func() { s.Close() })
+	}
+	return s, nil
+}
+
+// Addr returns the server's listening address — with the default
+// ephemeral port, the address workers and watchers should dial.
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// Submit appends tasks to the server's unscheduled FCFS queue. It may
+// be called any number of times, including while earlier submissions
+// are still processing; submissions after Close are dropped.
+func (s *Server) Submit(tasks []Task) { s.srv.Submit(tasks) }
+
+// Wait blocks until every submitted task has completed (at least one
+// task must have been submitted), the timeout elapses, or the server
+// is closed (ErrServerClosed). A non-positive timeout waits
+// indefinitely.
+func (s *Server) Wait(timeout time.Duration) error { return s.srv.Wait(timeout) }
+
+// Stats reports the server's lifetime counters and current
+// connections.
+func (s *Server) Stats() ServerStats {
+	sub, comp, reissued, workers := s.srv.Stats()
+	return ServerStats{
+		Submitted: sub,
+		Completed: comp,
+		Reissued:  reissued,
+		Workers:   workers,
+		Watchers:  s.events.Subscribers(),
+	}
+}
+
+// Workers returns a snapshot of the connected workers: name, claimed
+// and believed (§3.6-smoothed) rates, pending work, completions.
+func (s *Server) Workers() []WorkerStatus { return s.srv.Workers() }
+
+// Close shuts the server down: the listener closes, worker and watch
+// connections drop, and blocked Wait calls return ErrServerClosed.
+// Close is idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		if s.stop != nil {
+			s.stop()
+		}
+		s.closeErr = s.srv.Close()
+		if err := <-s.serveErr; err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
+
+// RunWorker connects a worker processor to a scheduling server at addr
+// and processes assigned tasks strictly in FIFO order until ctx is
+// cancelled (returning ctx.Err()) or the server closes the connection
+// (returning nil). Task execution is simulated — sleep Size/Rate
+// scaled by cfg.TimeScale — unless cfg.Execute is set. It is the
+// library form of the pnworker binary.
+func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
+	return dist.RunWorker(ctx, addr, cfg)
+}
+
+// WorkerName returns the default worker identity, "hostname-pid".
+func WorkerName() string { return dist.Name() }
+
+// Watch subscribes to a live server's event stream over the wire: the
+// same typed Observer events an in-process observer sees — batch
+// decided, GA generation best, island migration, dispatch, budget stop
+// — delivered to o in server publication order. The dial and
+// handshake happen synchronously; after a nil return, events flow on a
+// background goroutine until the server closes, the connection fails,
+// or ctx is cancelled (Watcher.Wait reports which).
+//
+// The server never blocks on a slow watcher: frames that overflow the
+// client's bounded server-side queue are dropped and counted, and the
+// cumulative count is reported on every subsequent frame
+// (Watcher.Dropped).
+func Watch(ctx context.Context, addr string, o Observer) (*Watcher, error) {
+	return dist.WatchEvents(ctx, addr, o)
+}

@@ -1,0 +1,226 @@
+package pnsched_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pnsched"
+)
+
+// fastServeSpec is a PN spec trimmed so every batch schedules in well
+// under a second.
+func fastServeSpec(t *testing.T) pnsched.Spec {
+	t.Helper()
+	spec, err := pnsched.NewSpec("PN",
+		pnsched.WithGenerations(40),
+		pnsched.WithBatch(40),
+		pnsched.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestServeEndToEnd drives the whole public distributed API: Serve a
+// PN scheduler, connect two workers with RunWorker, watch the run from
+// two Watch clients, and check completion, per-worker stats, and that
+// both remote observers saw the same number of dispatches as tasks.
+func TestServeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	srv, err := pnsched.Serve(ctx, fastServeSpec(t),
+		pnsched.WithEventQueue(1<<16))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	type counts struct {
+		mu                  sync.Mutex
+		batches, dispatches int
+	}
+	var seen [2]counts
+	var watchers [2]*pnsched.Watcher
+	for i := range watchers {
+		c := &seen[i]
+		w, err := pnsched.Watch(ctx, addr, pnsched.ObserverFuncs{
+			BatchDecided: func(pnsched.BatchDecision) {
+				c.mu.Lock()
+				c.batches++
+				c.mu.Unlock()
+			},
+			Dispatch: func(pnsched.DispatchEvent) {
+				c.mu.Lock()
+				c.dispatches++
+				c.mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatalf("Watch %d: %v", i, err)
+		}
+		watchers[i] = w
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Watchers != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watchers never subscribed: %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range []struct {
+		name string
+		rate pnsched.Rate
+	}{{"slow", 50}, {"fast", 200}} {
+		wg.Add(1)
+		go func(name string, rate pnsched.Rate) {
+			defer wg.Done()
+			err := pnsched.RunWorker(ctx, addr, pnsched.WorkerConfig{
+				Name: name, Rate: rate, TimeScale: 2e-4,
+			})
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}(w.name, w.rate)
+	}
+	for srv.Stats().Workers != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never registered: %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	tasks := pnsched.GenerateTasks(100, pnsched.Uniform{Lo: 10, Hi: 1000}, pnsched.NewRNG(7))
+	srv.Submit(tasks)
+	if err := srv.Wait(30 * time.Second); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	st := srv.Stats()
+	if st.Completed != len(tasks) || st.Submitted != len(tasks) {
+		t.Fatalf("Stats = %+v, want %d submitted and completed", st, len(tasks))
+	}
+	ws := srv.Workers()
+	total := 0
+	for _, w := range ws {
+		total += w.Completed
+	}
+	if len(ws) != 2 || total != len(tasks) {
+		t.Fatalf("Workers() = %+v, want 2 workers totalling %d completions", ws, len(tasks))
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i, w := range watchers {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("watcher %d Wait: %v", i, err)
+		}
+		if d := w.Dropped(); d != 0 {
+			t.Errorf("watcher %d dropped %d frames", i, d)
+		}
+		seen[i].mu.Lock()
+		b, d := seen[i].batches, seen[i].dispatches
+		seen[i].mu.Unlock()
+		if d != len(tasks) {
+			t.Errorf("watcher %d saw %d dispatches, want %d", i, d, len(tasks))
+		}
+		if b == 0 {
+			t.Errorf("watcher %d saw no batch decisions", i)
+		}
+	}
+
+	cancel()
+	wg.Wait()
+}
+
+// TestServeRejectsImmediateSchedulers checks the one rule Serve adds
+// on top of Run's validation: immediate-mode schedulers have no batch
+// form for the live server to drive.
+func TestServeRejectsImmediateSchedulers(t *testing.T) {
+	for _, name := range []string{"EF", "LL", "RR", "MET", "OLB", "KPB"} {
+		srv, err := pnsched.Serve(context.Background(), pnsched.MustSpec(name))
+		if err == nil {
+			srv.Close()
+			t.Errorf("Serve accepted immediate-mode scheduler %s", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "immediate-mode") {
+			t.Errorf("Serve(%s) error %q does not explain the batch requirement", name, err)
+		}
+	}
+}
+
+// TestServeValidationParity feeds the same invalid Specs to Run and
+// Serve and requires identical rejections: both funnel through the
+// shared Validate, so a spec that cannot run in the simulator cannot
+// be served live either — with the same explanation.
+func TestServeValidationParity(t *testing.T) {
+	w, err := pnsched.GenerateWorkload(pnsched.WorkloadConfig{Tasks: 5, Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := 4
+	zero := 0
+	cases := []struct {
+		name string
+		spec pnsched.Spec
+	}{
+		{"empty name", pnsched.Spec{}},
+		{"unknown name", pnsched.Spec{Name: "NOPE"}},
+		{"negative generations", pnsched.Spec{Name: "PN", Generations: -1}},
+		{"negative population", pnsched.Spec{Name: "PN", Population: -3}},
+		{"negative batch", pnsched.Spec{Name: "PN", Batch: -200}},
+		{"island fields on PN", pnsched.Spec{Name: "PN", Islands: &four}},
+		{"migrants on ZO", pnsched.Spec{Name: "ZO", Migrants: 2}},
+		{"zero islands", pnsched.Spec{Name: "PN-ISLAND", Islands: &zero}},
+		{"negative migration interval", pnsched.Spec{Name: "PN-ISLAND", MigrationInterval: -5}},
+		{"migrants not below population", pnsched.Spec{Name: "PN-ISLAND", Population: 10, Migrants: 10}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, runErr := pnsched.Run(context.Background(), c.spec, w)
+			srv, serveErr := pnsched.Serve(context.Background(), c.spec)
+			if serveErr == nil {
+				srv.Close()
+				t.Fatalf("Serve accepted a spec Run rejects with %q", runErr)
+			}
+			if runErr == nil {
+				t.Fatalf("Run accepted a spec Serve rejects with %q", serveErr)
+			}
+			if runErr.Error() != serveErr.Error() {
+				t.Errorf("divergent rejections:\n  Run:   %v\n  Serve: %v", runErr, serveErr)
+			}
+		})
+	}
+}
+
+// TestServeContextCancel checks cancelling the Serve context closes
+// the server: Wait unblocks with ErrServerClosed.
+func TestServeContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := pnsched.Serve(ctx, fastServeSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Submit(pnsched.GenerateTasks(5, pnsched.Constant{Size: 100}, pnsched.NewRNG(1)))
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Wait(0) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, pnsched.ErrServerClosed) {
+			t.Fatalf("Wait after ctx cancel = %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not unblock after ctx cancel")
+	}
+}
