@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz-smoke lint apicheck bench bench-smoke ci
+.PHONY: build test race fuzz-smoke lint apicheck docs-check bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,15 @@ apicheck:
 	$(GO) vet ./...
 	sh scripts/apicheck.sh
 
+# The documentation drift gate: the event-kind tables in README.md and
+# docs/wire-protocol.md must list exactly the kind constants of
+# internal/dist/protocol.go (and the spec's message-type table its msg
+# constants), and every kind must have its golden file illustrated in
+# the spec. Adding a kind without documenting it — or documenting one
+# that no longer exists — fails CI.
+docs-check:
+	sh scripts/docscheck.sh
+
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
@@ -52,4 +61,4 @@ bench-smoke:
 	$(GO) run ./cmd/pnbench -figure island -profile fast -json BENCH_island.json
 	$(GO) run ./cmd/pnbench -figure evolve -profile fast -json BENCH_evolve.json
 
-ci: build lint apicheck test race fuzz-smoke bench bench-smoke
+ci: build lint apicheck docs-check test race fuzz-smoke bench bench-smoke

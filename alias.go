@@ -84,6 +84,18 @@ type (
 	// Watcher is a live subscription to a server's event stream,
 	// created with Watch.
 	Watcher = dist.Watcher
+	// ServerSnapshot is a live server's operational snapshot, returned
+	// by Server.Snapshot in-process and FetchStats over the wire.
+	ServerSnapshot = dist.Snapshot
+	// WorkerSnapshot is one connected worker's slice of a
+	// ServerSnapshot.
+	WorkerSnapshot = dist.WorkerSnapshot
+	// WatcherSnapshot is one event-stream subscriber's slice of a
+	// ServerSnapshot: current queue depth and cumulative drops.
+	WatcherSnapshot = dist.WatcherSnapshot
+	// LatencySummary holds dispatch-latency quantiles over a server's
+	// recent round trips.
+	LatencySummary = dist.LatencySummary
 
 	// Observer receives the typed events of a scheduling run; see the
 	// internal/observe package documentation for the event contract.
@@ -92,11 +104,13 @@ type (
 	// ignore their event.
 	ObserverFuncs = observe.Funcs
 	// The observer event payloads.
-	BatchDecision   = observe.BatchDecision
-	GenerationBest  = observe.GenerationBest
-	MigrationEvent  = observe.Migration
-	DispatchEvent   = observe.Dispatch
-	BudgetStopEvent = observe.BudgetStop
+	BatchDecision     = observe.BatchDecision
+	GenerationBest    = observe.GenerationBest
+	MigrationEvent    = observe.Migration
+	DispatchEvent     = observe.Dispatch
+	BudgetStopEvent   = observe.BudgetStop
+	WorkerJoinedEvent = observe.WorkerJoined
+	WorkerLeftEvent   = observe.WorkerLeft
 )
 
 // ErrServerClosed is returned by Server.Wait when the server is closed

@@ -3,8 +3,10 @@
 // waits for pnworker clients to connect, schedules batches with the PN
 // genetic algorithm, and reports progress until every task completes.
 // With -watch it is instead a remote observer: it subscribes to a
-// running pnserver's event stream and prints every scheduling event as
-// it happens.
+// running pnserver's event stream (docs/wire-protocol.md) and prints
+// every scheduling event as it happens, plus a periodic stats line.
+// With -stats it requests one operational snapshot — queue depths,
+// per-worker counts, dispatch-latency quantiles — and exits.
 //
 // Usage:
 //
@@ -12,12 +14,15 @@
 //	pnworker -connect localhost:9000 -rate 100 &
 //	pnworker -connect localhost:9000 -rate 400 &
 //	pnserver -watch localhost:9000
+//	pnserver -stats localhost:9000
+//	pnserver -schedulers
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -30,6 +35,8 @@ func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:9000", "address to listen on")
 		watch    = flag.String("watch", "", "watch a running server's event stream at this address instead of serving")
+		stats    = flag.String("stats", "", "print a running server's stats snapshot from this address and exit")
+		listSch  = flag.Bool("schedulers", false, "list the registered schedulers and exit")
 		nTasks   = flag.Int("tasks", 500, "tasks to generate (ignored with -workload)")
 		wlFile   = flag.String("workload", "", "load tasks from a pnworkload JSON file")
 		batch    = flag.Int("batch", pnsched.DefaultBatchSize, "initial/fixed batch size")
@@ -43,6 +50,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listSch {
+		printSchedulers(os.Stdout)
+		return
+	}
+	if *stats != "" {
+		statsMain(*stats)
+		return
+	}
 	if *watch != "" {
 		watchMain(*watch)
 		return
@@ -137,7 +152,8 @@ func main() {
 }
 
 // watchMain subscribes to a running server's event stream and prints
-// every event until the server closes or the process is interrupted.
+// every event until the server closes or the process is interrupted,
+// with a stats snapshot line every few seconds.
 func watchMain(addr string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -159,15 +175,86 @@ func watchMain(addr string) {
 			log.Printf("watch: GA stopped at generation %d (budget %v, spent %v)",
 				e.Generation, e.Budget, e.Spent)
 		},
+		WorkerJoined: func(e pnsched.WorkerJoinedEvent) {
+			log.Printf("watch: worker %s joined at %v Mflop/s (%d connected)", e.Name, float64(e.Rate), e.Workers)
+		},
+		WorkerLeft: func(e pnsched.WorkerLeftEvent) {
+			log.Printf("watch: worker %s left, %d tasks reissued (%d connected)", e.Name, e.Reissued, e.Workers)
+		},
 	})
 	if err != nil {
 		fatal(err)
 	}
 	log.Printf("pnserver: watching %s (ctrl-c to stop)", addr)
+
+	// Periodic stats line alongside the event stream. Older servers
+	// without the stats message just don't get the line.
+	statsTick := time.NewTicker(5 * time.Second)
+	defer statsTick.Stop()
+	go func() {
+		for range statsTick.C {
+			snap, err := pnsched.FetchStats(ctx, addr)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				continue
+			}
+			log.Printf("watch: stats %d/%d done, %d pending, %d running, %d workers, p50 dispatch %v (up %v)",
+				snap.Completed, snap.Submitted, snap.Pending, snap.Running,
+				len(snap.Workers), snap.Latency.P50, time.Duration(float64(snap.Uptime)*float64(time.Second)).Round(time.Second))
+		}
+	}()
+
 	if err := w.Wait(); err != nil && ctx.Err() == nil {
 		fatal(err)
 	}
 	log.Printf("pnserver: watch ended after %d events (%d dropped)", w.Frames(), w.Dropped())
+}
+
+// statsMain requests one stats snapshot from a running server and
+// prints it.
+func statsMain(addr string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	snap, err := pnsched.FetchStats(ctx, addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("server %s up %v\n", addr, time.Duration(float64(snap.Uptime)*float64(time.Second)).Round(time.Millisecond))
+	fmt.Printf("tasks: %d submitted, %d completed, %d reissued, %d pending, %d running (%d batches)\n",
+		snap.Submitted, snap.Completed, snap.Reissued, snap.Pending, snap.Running, snap.Batches)
+	if snap.Latency.Samples > 0 {
+		fmt.Printf("dispatch latency (last %d): p50 %v  p90 %v  p99 %v\n",
+			snap.Latency.Samples, snap.Latency.P50, snap.Latency.P90, snap.Latency.P99)
+	}
+	fmt.Printf("workers: %d\n", len(snap.Workers))
+	for _, w := range snap.Workers {
+		fmt.Printf("  %-20s %8.1f Mflop/s  %4d running  %6d completed\n", w.Name, float64(w.Rate), w.Running, w.Completed)
+	}
+	fmt.Printf("watchers: %d\n", len(snap.Watchers))
+	for i, w := range snap.Watchers {
+		fmt.Printf("  #%d: %d queued, %d dropped\n", i, w.Queued, w.Dropped)
+	}
+}
+
+// printSchedulers renders the registry with its metadata — the same
+// twelve-scheduler table the README documents.
+func printSchedulers(out io.Writer) {
+	fmt.Fprintf(out, "%-10s %-10s %-10s %s\n", "NAME", "MODE", "KIND", "SUMMARY")
+	for _, info := range pnsched.Infos() {
+		mode, kind := "immediate", "heuristic"
+		if info.Batch {
+			mode = "batch"
+		}
+		if info.GA {
+			kind = "GA"
+		}
+		fmt.Fprintf(out, "%-10s %-10s %-10s %s\n", info.Name, mode, kind, info.Summary)
+	}
+	fmt.Fprintln(out, "\nbatch-mode schedulers work with both pnsim and pnserver; immediate-mode only with pnsim.")
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 //	pnsim -sched PN -tasks 1000 -procs 50 -dist normal -comm 10
 //	pnsim -sched RR -dist poisson -mean 100
 //	pnsim -sched all -tasks 500        # run every scheduler
+//	pnsim -schedulers                  # list schedulers with metadata
 //	pnsim -workload tasks.json -sched EF
 //	pnsim -scenario scenario.json -gantt
 //
@@ -54,9 +55,24 @@ func main() {
 		wlFile    = flag.String("workload", "", "load tasks from a pnworkload JSON file instead of generating")
 		gantt     = flag.Bool("gantt", false, "print a per-processor activity timeline after each run")
 		scenFile  = flag.String("scenario", "", "run a scenario JSON file (overrides the other scenario flags)")
+		listSch   = flag.Bool("schedulers", false, "list the registered schedulers (mode, GA/heuristic, summary) and exit")
 	)
 	flag.Parse()
 
+	if *listSch {
+		fmt.Printf("%-10s %-10s %-10s %s\n", "NAME", "MODE", "KIND", "SUMMARY")
+		for _, info := range pnsched.Infos() {
+			mode, kind := "immediate", "heuristic"
+			if info.Batch {
+				mode = "batch"
+			}
+			if info.GA {
+				kind = "GA"
+			}
+			fmt.Printf("%-10s %-10s %-10s %s\n", info.Name, mode, kind, info.Summary)
+		}
+		return
+	}
 	if *scenFile != "" {
 		runScenario(*scenFile, *gantt)
 		return

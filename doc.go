@@ -19,28 +19,19 @@
 // Spec subsumes the GA configuration (core.Config), the island-model
 // setup, and the scheduler block of scenario JSON files; it validates
 // centrally and round-trips through encoding/json, so the same value
-// backs library calls, CLI flags and scenario files:
-//
-//	spec, err := pnsched.NewSpec("PN-ISLAND",
-//	    pnsched.WithGenerations(500),
-//	    pnsched.WithIslands(4),
-//	    pnsched.WithSeed(42))
+// backs library calls, CLI flags and scenario files. Build one with
+// NewSpec and With* options (see the Run example).
 //
 // # Unified run API
 //
 // Run drives a Workload (cluster + network + tasks; GenerateWorkload
 // builds the paper's synthetic systems) through the discrete-event
-// simulator and returns its metrics. A typed Observer — batch
-// decided, generation best-makespan, island migration, dispatch,
-// budget stop — watches any run; the same interface is emitted by the
+// simulator and returns its metrics — the Run example is a complete
+// program. A typed Observer — batch decided, generation
+// best-makespan, island migration, dispatch, budget stop, worker
+// lifecycle — watches any run; the same interface is emitted by the
 // live TCP runtime (internal/dist), so instrumentation written against
-// it works unchanged on simulated and real deployments:
-//
-//	w, _ := pnsched.GenerateWorkload(pnsched.WorkloadConfig{Tasks: 500, Procs: 16, Seed: 7})
-//	res, err := pnsched.Run(ctx, spec, w,
-//	    pnsched.Observe(pnsched.ObserverFuncs{
-//	        BatchDecided: func(e pnsched.BatchDecision) { log.Println(e.Tasks, e.Cost) },
-//	    }))
+// it works unchanged on simulated and real deployments.
 //
 // # Live serving and remote observation
 //
@@ -48,32 +39,32 @@
 // Validate), but scheduling real workers over TCP instead of simulated
 // processors. Workers connect with RunWorker (or the pnworker binary,
 // Linpack-rated); tasks go in with Submit and the run is tracked with
-// Wait, Stats and Workers:
-//
-//	srv, err := pnsched.Serve(ctx, spec, pnsched.WithListenAddr(":9000"))
-//	srv.Submit(tasks)
-//	err = srv.Wait(0)
+// Wait, Stats, Workers and Snapshot. The Serve example drives a full
+// run against an in-process worker.
 //
 // The typed Observer protocol crosses the wire too: Watch subscribes
 // to a live server's event stream and replays it into an Observer,
 // event for event, in server publication order — so instrumentation
 // written for Run works unchanged against a remote deployment
-// (pnserver -watch is exactly this). A slow watcher costs the server
-// nothing: frames that overflow its bounded queue are dropped and
-// counted (Watcher.Dropped), never blocking the scheduler:
-//
-//	w, err := pnsched.Watch(ctx, "host:9000", pnsched.ObserverFuncs{
-//	    BatchDecided: func(e pnsched.BatchDecision) { log.Println(e.Invocation, e.Tasks) },
-//	})
-//	err = w.Wait() // until the server closes or ctx cancels
+// (pnserver -watch is exactly this; the Watch example is the library
+// form). A slow watcher costs the server nothing: frames that
+// overflow its bounded queue are dropped and counted
+// (Watcher.Dropped), never blocking the scheduler — and a watcher that
+// subscribes mid-run first replays the server's recent history
+// (WithEventReplay) before going live. The frame grammar, version
+// negotiation and replay semantics are specified in
+// docs/wire-protocol.md. FetchStats (pnserver -stats) retrieves a
+// point-in-time ServerSnapshot — queue depths, per-worker counts,
+// dispatch-latency quantiles — from any live server.
 //
 // Underneath sit the internal packages: the GA engine with incremental
 // fitness evaluation (internal/ga, internal/core), the parallel island
 // model (internal/island), the discrete-event simulator
 // (internal/sim), the live scheduler/worker runtime (internal/dist),
 // and the figure-regeneration harness (internal/experiments). See
-// README.md for the layout, the wire protocol, and the performance
-// notes. The runnable entry points are:
+// README.md for the layout and performance notes, and
+// docs/wire-protocol.md for the wire protocol. The runnable entry
+// points are:
 //
 //	cmd/pnbench    — regenerate paper figures 3–11 and the
 //	                 supplementary experiments; -json writes

@@ -48,10 +48,18 @@ func TestEndToEndIslandScheduler(t *testing.T) {
 		wg.Add(1)
 		go func(name string, rate units.Rate) {
 			defer wg.Done()
+			// TimeScale 1e-3 (1 simulated second = 1ms), not the 2e-4
+			// other e2e tests use: the elapsed/real ratio scales any
+			// real-clock jitter the comm estimate picks up into the
+			// simulated clock, and under the race detector millisecond
+			// scheduling noise at 5000× was large enough to equalise the
+			// workers' task counts and flake the fast>slow assertion.
+			// 1000× plus the server's comm noise floor keeps the estimate
+			// honest.
 			err := dist.RunWorker(ctx, addr, dist.WorkerConfig{
 				Name:      name,
 				Rate:      rate,
-				TimeScale: 2e-4,
+				TimeScale: 1e-3,
 			})
 			if err != nil && !errors.Is(err, context.Canceled) {
 				t.Errorf("worker %s: %v", name, err)

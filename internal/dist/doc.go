@@ -36,7 +36,11 @@
 // The protocol is newline-delimited JSON over a single TCP connection
 // per client ("JSON lines"): one object per line, bounded at 1 MiB per
 // frame. A connection's first frame decides its role: a hello makes it
-// a worker, a watch makes it an event subscriber.
+// a worker, a watch makes it an event subscriber, a stats frame makes
+// it a one-shot snapshot request. docs/wire-protocol.md is the
+// authoritative spec — grammar, versioning, delivery and replay
+// semantics, each frame kind pinned by a committed golden file; this
+// section is the summary.
 //
 // Worker → server, once, immediately after connecting:
 //
@@ -74,20 +78,35 @@
 // then the server streams versioned event frames, one per event, in
 // publication order, identical for every subscriber:
 //
-//	{"type":"event","v":{"major":1,"minor":0},"seq":17,"kind":"dispatch","dispatch":{"proc":3,"task":77,"at":12.5}}
+//	{"type":"event","v":{"major":1,"minor":1},"seq":17,"kind":"dispatch","dispatch":{"proc":3,"task":77,"at":12.5}}
 //
 // Kinds are batch_decided, generation_best, migration, dispatch and
-// budget_stop, each carrying its payload under the same-named field.
-// seq is the shared publication counter; a frame with a newer minor
-// version decodes fine (unknown fields and kinds ignored — golden
-// tests pin this), a different major is rejected at the handshake.
+// budget_stop, plus — since protocol 1.1 — the worker lifecycle kinds
+// worker_joined and worker_left, each carrying its payload under a
+// kind-specific field. seq is the shared publication counter; a frame
+// with a newer minor version decodes fine (unknown fields and kinds
+// ignored — golden tests pin this), a different major is rejected at
+// the handshake.
 //
 // Delivery to a subscriber goes through a bounded per-client send
 // queue drained by its own writer goroutine: a slow or stalled watcher
 // never back-pressures the scheduling loop. Frames that overflow the
 // queue are dropped and counted, and the cumulative count rides on
 // every subsequent frame's dropped field (so clients always know what
-// they missed; gaps in seq say which frames).
+// they missed; gaps in seq say which frames). A subscriber arriving
+// mid-run first replays the Broadcaster's ring of recent frames —
+// contiguous in seq with the live stream that follows, never counted
+// as dropped — so short-lived observers see how the run got where it
+// is.
+//
+// # Stats snapshots
+//
+// A connection whose first frame is {"type":"stats"} (protocol 1.1)
+// receives one reply — the server's Snapshot flattened to JSON: queue
+// depths, task counters, per-worker believed rates and completions,
+// per-watcher queue/drop counters, and dispatch-latency quantiles —
+// and is then closed. FetchStats is the client side; pnserver -stats
+// and the periodic line in pnserver -watch are its CLI surface.
 //
 // # Time scaling
 //

@@ -14,6 +14,12 @@ import (
 // frames (counted, never blocking).
 const DefaultEventQueue = 256
 
+// DefaultEventReplay is the catch-up ring size used when Broadcaster
+// is built with replay == 0: the number of recently published frames a
+// late subscriber receives before its live stream begins. Pass a
+// negative replay to disable catch-up entirely.
+const DefaultEventReplay = 64
+
 // Broadcaster fans the typed Observer events of one live server out to
 // any number of wire subscribers. It is the server side of the event
 // stream: the scheduler's GA events and the server's batch/dispatch
@@ -28,6 +34,14 @@ const DefaultEventQueue = 256
 // scheduling loop. Every subscriber observes the surviving frames in
 // identical order (publication order, as witnessed by strictly
 // increasing Seq values shared across subscribers).
+//
+// A catch-up ring holds the most recent frames (up to the replay size
+// given to NewBroadcaster): a subscriber attaching mid-run first
+// receives those, then its live stream, with no seq discontinuity —
+// replay and live frames carry the publication seq they were stamped
+// with, and the hand-off happens under the same lock publish takes,
+// so nothing can interleave between the last replayed frame and the
+// first live one.
 type Broadcaster struct {
 	queue int
 
@@ -35,6 +49,13 @@ type Broadcaster struct {
 	seq    uint64
 	subs   map[*eventSub]struct{}
 	closed bool
+
+	// ring is the catch-up buffer: the last len(ring) published frames,
+	// ringN of which are valid, written circularly at ringW. Replay is
+	// disabled when ring is nil.
+	ring  []eventFrame
+	ringW int
+	ringN int
 }
 
 // eventSub is one subscriber: a bounded frame queue drained by the
@@ -46,12 +67,26 @@ type eventSub struct {
 }
 
 // NewBroadcaster returns a broadcaster whose subscribers buffer up to
-// queue frames each; non-positive selects DefaultEventQueue.
-func NewBroadcaster(queue int) *Broadcaster {
+// queue frames each (non-positive selects DefaultEventQueue) and whose
+// catch-up ring replays up to replay recent frames to late subscribers
+// (zero selects DefaultEventReplay, negative disables replay). The
+// ring never exceeds the queue size: a fresh subscriber's queue must
+// be able to hold its entire replay.
+func NewBroadcaster(queue, replay int) *Broadcaster {
 	if queue <= 0 {
 		queue = DefaultEventQueue
 	}
-	return &Broadcaster{queue: queue, subs: map[*eventSub]struct{}{}}
+	if replay == 0 {
+		replay = DefaultEventReplay
+	}
+	if replay > queue {
+		replay = queue
+	}
+	b := &Broadcaster{queue: queue, subs: map[*eventSub]struct{}{}}
+	if replay > 0 {
+		b.ring = make([]eventFrame, replay)
+	}
+	return b
 }
 
 // Subscribers reports the number of currently attached subscribers.
@@ -61,8 +96,11 @@ func (b *Broadcaster) Subscribers() int {
 	return len(b.subs)
 }
 
-// subscribe attaches a new subscriber. Frames published from this
-// moment on are queued for it (or counted as dropped).
+// subscribe attaches a new subscriber. The catch-up ring is copied
+// into its queue first, then frames published from this moment on are
+// queued for it (or counted as dropped) — all under one critical
+// section, so the replayed frames and the live stream form a single
+// seq-ordered sequence with no gap and no duplicate.
 func (b *Broadcaster) subscribe() *eventSub { return b.subscribeBuf(b.queue) }
 
 // subscribeBuf is subscribe with an explicit queue size, letting tests
@@ -74,6 +112,18 @@ func (b *Broadcaster) subscribeBuf(queue int) *eventSub {
 	if b.closed {
 		close(s.out) // stillborn: reads see an immediately-ended stream
 		return s
+	}
+	// Replay the newest ring frames that fit the queue, oldest first.
+	// Frames older than the queue can hold are not "drops" — they
+	// predate this subscription — so the drop counter stays zero.
+	if n := min(b.ringN, queue); n > 0 {
+		start := b.ringW - n
+		if start < 0 {
+			start += len(b.ring)
+		}
+		for i := 0; i < n; i++ {
+			s.out <- b.ring[(start+i)%len(b.ring)]
+		}
 	}
 	b.subs[s] = struct{}{}
 	return s
@@ -121,6 +171,13 @@ func (b *Broadcaster) publish(f eventFrame) {
 	}
 	b.seq++
 	f.Seq = b.seq
+	if b.ring != nil {
+		b.ring[b.ringW] = f
+		b.ringW = (b.ringW + 1) % len(b.ring)
+		if b.ringN < len(b.ring) {
+			b.ringN++
+		}
+	}
 	for s := range b.subs {
 		select {
 		case s.out <- f:
@@ -128,6 +185,18 @@ func (b *Broadcaster) publish(f eventFrame) {
 			s.dropped.Add(1)
 		}
 	}
+}
+
+// Watchers reports each attached subscriber's current queue depth and
+// cumulative drop count — the per-watcher slice of a stats Snapshot.
+func (b *Broadcaster) Watchers() []WatcherSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]WatcherSnapshot, 0, len(b.subs))
+	for s := range b.subs {
+		out = append(out, WatcherSnapshot{Queued: len(s.out), Dropped: s.dropped.Load()})
+	}
+	return out
 }
 
 // OnBatchDecided implements observe.Observer.
@@ -173,5 +242,25 @@ func (b *Broadcaster) OnBudgetStop(e observe.BudgetStop) {
 		Generation: e.Generation,
 		Budget:     float64(e.Budget),
 		Spent:      float64(e.Spent),
+	}})
+}
+
+// OnWorkerJoined implements observe.Observer (protocol 1.1).
+func (b *Broadcaster) OnWorkerJoined(e observe.WorkerJoined) {
+	b.publish(eventFrame{Kind: kindWorkerJoined, Joined: &wireWorkerJoined{
+		Name:    e.Name,
+		Rate:    float64(e.Rate),
+		Workers: e.Workers,
+		At:      float64(e.At),
+	}})
+}
+
+// OnWorkerLeft implements observe.Observer (protocol 1.1).
+func (b *Broadcaster) OnWorkerLeft(e observe.WorkerLeft) {
+	b.publish(eventFrame{Kind: kindWorkerLeft, Left: &wireWorkerLeft{
+		Name:     e.Name,
+		Reissued: e.Reissued,
+		Workers:  e.Workers,
+		At:       float64(e.At),
 	}})
 }

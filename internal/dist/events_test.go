@@ -23,7 +23,7 @@ func drainSub(s *eventSub) []eventFrame {
 // frames in the same order, with strictly increasing shared sequence
 // numbers.
 func TestBroadcasterIdenticalOrder(t *testing.T) {
-	b := NewBroadcaster(1024)
+	b := NewBroadcaster(1024, 0)
 	s1, s2 := b.subscribe(), b.subscribe()
 	if n := b.Subscribers(); n != 2 {
 		t.Fatalf("Subscribers() = %d, want 2", n)
@@ -63,7 +63,7 @@ func TestBroadcasterIdenticalOrder(t *testing.T) {
 // subscriber.
 func TestBroadcasterSlowSubscriberDropsWithoutBlocking(t *testing.T) {
 	const events = 500
-	b := NewBroadcaster(1)
+	b := NewBroadcaster(1, 0)
 	slow := b.subscribe()          // broadcaster-wide queue: 1 frame
 	fast := b.subscribeBuf(events) // provisioned to absorb everything
 	start := time.Now()
@@ -93,7 +93,7 @@ func TestBroadcasterSlowSubscriberDropsWithoutBlocking(t *testing.T) {
 // TestBroadcasterUnsubscribeIdempotent detaches a subscriber twice and
 // publishes afterwards; neither may panic or deliver further frames.
 func TestBroadcasterUnsubscribeIdempotent(t *testing.T) {
-	b := NewBroadcaster(4)
+	b := NewBroadcaster(4, 0)
 	s := b.subscribe()
 	b.unsubscribe(s)
 	b.unsubscribe(s)
@@ -109,11 +109,93 @@ func TestBroadcasterUnsubscribeIdempotent(t *testing.T) {
 // TestBroadcasterClosedRejectsSubscribers checks a subscription after
 // closeAll yields an immediately-ended stream instead of a leak.
 func TestBroadcasterClosedRejectsSubscribers(t *testing.T) {
-	b := NewBroadcaster(4)
+	b := NewBroadcaster(4, 0)
 	b.closeAll()
 	s := b.subscribe()
 	if _, open := <-s.out; open {
 		t.Fatal("subscription after closeAll delivered a frame")
 	}
 	b.OnMigration(observe.Migration{Round: 1}) // must not panic
+}
+
+// TestBroadcasterReplayCatchUp publishes past a late subscriber and
+// checks it receives exactly the ring's worth of history — the newest
+// frames, in order, with their original sequence numbers — then the
+// live stream with no gap, duplicate, or phantom drop at the boundary.
+func TestBroadcasterReplayCatchUp(t *testing.T) {
+	const replay = 8
+	b := NewBroadcaster(64, replay)
+	for i := 0; i < 100; i++ {
+		b.OnDispatch(observe.Dispatch{Proc: i, Task: 1})
+	}
+	late := b.subscribe()
+	for i := 100; i < 110; i++ {
+		b.OnDispatch(observe.Dispatch{Proc: i, Task: 1})
+	}
+	b.closeAll()
+
+	frames := drainSub(late)
+	if len(frames) != replay+10 {
+		t.Fatalf("late subscriber got %d frames, want %d replayed + 10 live", len(frames), replay)
+	}
+	// The replay starts at the oldest retained frame: seq 93 of 100.
+	for i, f := range frames {
+		if want := uint64(100 - replay + 1 + i); f.Seq != want {
+			t.Fatalf("frame %d has seq %d, want %d (continuous replay→live hand-off)", i, f.Seq, want)
+		}
+		if f.Dropped != 0 {
+			t.Fatalf("frame %d carries dropped=%d; history missed before subscribing is not a drop", i, f.Dropped)
+		}
+	}
+	if got := late.dropped.Load(); got != 0 {
+		t.Fatalf("late subscriber's drop counter = %d, want 0", got)
+	}
+}
+
+// TestBroadcasterReplayShortHistory subscribes when fewer frames exist
+// than the ring holds: everything published so far is replayed, from
+// seq 1.
+func TestBroadcasterReplayShortHistory(t *testing.T) {
+	b := NewBroadcaster(64, 8)
+	b.OnMigration(observe.Migration{Round: 1})
+	b.OnMigration(observe.Migration{Round: 2})
+	s := b.subscribe()
+	b.closeAll()
+	frames := drainSub(s)
+	if len(frames) != 2 || frames[0].Seq != 1 || frames[1].Seq != 2 {
+		t.Fatalf("short-history replay = %+v, want the full 2-frame history", frames)
+	}
+}
+
+// TestBroadcasterReplayDisabled checks a negative replay size turns
+// catch-up off: a late subscriber starts from the live stream only.
+func TestBroadcasterReplayDisabled(t *testing.T) {
+	b := NewBroadcaster(64, -1)
+	b.OnMigration(observe.Migration{Round: 1})
+	s := b.subscribe()
+	b.OnMigration(observe.Migration{Round: 2})
+	b.closeAll()
+	frames := drainSub(s)
+	if len(frames) != 1 || frames[0].Seq != 2 {
+		t.Fatalf("replay-disabled subscriber got %+v, want only the live frame (seq 2)", frames)
+	}
+}
+
+// TestBroadcasterReplayCappedAtQueue builds a broadcaster whose replay
+// request exceeds the queue and checks the effective ring is the queue
+// size — a fresh subscriber must be able to hold its whole replay.
+func TestBroadcasterReplayCappedAtQueue(t *testing.T) {
+	b := NewBroadcaster(4, 100)
+	for i := 0; i < 20; i++ {
+		b.OnDispatch(observe.Dispatch{Proc: i, Task: 1})
+	}
+	s := b.subscribe()
+	b.closeAll()
+	frames := drainSub(s)
+	if len(frames) != 4 {
+		t.Fatalf("replay delivered %d frames with a queue of 4, want 4", len(frames))
+	}
+	if frames[0].Seq != 17 || frames[3].Seq != 20 {
+		t.Fatalf("capped replay spans seq %d..%d, want the newest 17..20", frames[0].Seq, frames[3].Seq)
+	}
 }

@@ -31,6 +31,12 @@ func FuzzWireMessage(f *testing.F) {
 		`{"type":"welcome","proto":{"major":1,"minor":0}}`,
 		`{"type":"event","v":{"major":1,"minor":0},"seq":1,"kind":"batch_decided","batch":{"invocation":1,"scheduler":"PN","tasks":200,"procs":50,"cost":0.1,"at":2.5}}`,
 		`{"type":"event","v":{"major":1,"minor":0},"seq":2,"kind":"dispatch","dispatch":{"proc":3,"task":0,"at":2.5}}`,
+		`{"type":"event","v":{"major":1,"minor":1},"seq":6,"kind":"worker_joined","joined":{"name":"node7","rate":87.5,"workers":3,"at":21.5}}`,
+		`{"type":"event","v":{"major":1,"minor":1},"seq":7,"kind":"worker_left","left":{"name":"node7","reissued":5,"workers":2,"at":44.25}}`,
+		`{"type":"event","v":{"major":1,"minor":1},"seq":8,"kind":"worker_joined"}`,
+		`{"type":"stats"}`,
+		`{"type":"stats","proto":{"major":1,"minor":1},"stats":{"uptime":12.5,"submitted":10,"completed":4,"reissued":0,"pending":5,"running":1,"batches":2,"workers":[{"name":"w","rate":50,"running":1,"completed":4}],"latency":{"samples":4,"p50":0.1,"p90":0.2,"p99":0.3}}}`,
+		`{"type":"stats","stats":{"uptime":1}}`,
 		`{"type":"event","v":{"major":1,"minor":9},"seq":3,"kind":"from_the_future"}`,
 		`{"type":"event","v":{"major":2,"minor":0},"seq":4,"kind":"dispatch"}`,
 		`{"type":"event","v":{"major":1,"minor":0},"seq":5,"kind":"nonsense"}`,

@@ -31,6 +31,65 @@ func canonicalFrames() map[string]eventFrame {
 			Dispatch: &wireDispatch{Proc: 12, Task: 0, At: 18.25}},
 		"event_budget_stop": {Type: msgEvent, V: v, Seq: 5, Kind: kindBudgetStop,
 			Budget: &wireBudgetStop{Generation: 77, Budget: 1.5, Spent: 1.4375}},
+		"event_worker_joined": {Type: msgEvent, V: v, Seq: 6, Kind: kindWorkerJoined,
+			Joined: &wireWorkerJoined{Name: "node7-4412", Rate: 87.5, Workers: 3, At: 21.5}},
+		"event_worker_left": {Type: msgEvent, V: v, Seq: 7, Kind: kindWorkerLeft,
+			Left: &wireWorkerLeft{Name: "node7-4412", Reissued: 5, Workers: 2, At: 44.25}},
+	}
+}
+
+// TestGoldenStatsReply freezes the wire encoding of the stats reply —
+// the 1.1 request/response message — the same way the event goldens
+// freeze the event stream.
+func TestGoldenStatsReply(t *testing.T) {
+	reply := message{
+		Type:  msgStats,
+		Proto: &wireVersion{Major: ProtoMajor, Minor: ProtoMinor},
+		Stats: Snapshot{
+			Uptime:    120.5,
+			Submitted: 1000,
+			Completed: 640,
+			Reissued:  5,
+			Pending:   310,
+			Running:   50,
+			Batches:   4,
+			Workers: []WorkerSnapshot{
+				{Name: "node7-4412", Rate: 87.5, Running: 30, Completed: 400},
+				{Name: "node9-118", Rate: 42.25, Running: 20, Completed: 240},
+			},
+			Watchers: []WatcherSnapshot{{Queued: 12, Dropped: 3}},
+			Latency:  LatencySummary{Samples: 512, P50: 0.125, P90: 0.5, P99: 1.25},
+		}.toWire(),
+	}
+	path := filepath.Join("testdata", "golden", "stats_reply.json")
+	encoded, err := json.Marshal(&reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded = append(encoded, '\n')
+	if *updateGolden {
+		if err := os.WriteFile(path, encoded, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(encoded, golden) {
+		t.Errorf("encoding changed:\n got %s\nwant %s", encoded, golden)
+	}
+
+	m, ev, err := decodeWireMessage(bytes.TrimSuffix(golden, []byte("\n")))
+	if err != nil || ev != nil || m == nil {
+		t.Fatalf("decodeWireMessage(golden) = (%v, %v, %v), want a stats message", m, ev, err)
+	}
+	if m.Stats == nil {
+		t.Fatal("stats reply decoded without its snapshot")
+	}
+	snap := m.Stats.toSnapshot()
+	if snap.Completed != 640 || len(snap.Workers) != 2 || snap.Latency.Samples != 512 {
+		t.Errorf("snapshot round trip lost data: %+v", snap)
 	}
 }
 

@@ -22,6 +22,7 @@ const (
 	msgWatch   = "watch"   // watch client → server: event subscription
 	msgWelcome = "welcome" // server → watch client: subscription accepted
 	msgEvent   = "event"   // server → watch client: one observer event
+	msgStats   = "stats"   // stats client ↔ server: snapshot request/reply (1.1)
 )
 
 // Event-stream protocol version, carried on the watch handshake and on
@@ -29,9 +30,18 @@ const (
 // incompatible and rejected; a peer with a newer minor version may send
 // event kinds and fields this side does not know, which are skipped
 // (fields by encoding/json's default behaviour, kinds by deliver).
+//
+// Version history (docs/wire-protocol.md is the authoritative spec):
+//
+//	1.0 — initial event stream: watch/welcome handshake, the five
+//	      scheduling event kinds, drop-and-count delivery.
+//	1.1 — worker lifecycle kinds worker_joined / worker_left, the
+//	      stats request/reply message, and catch-up replay of recent
+//	      frames to late subscribers. 1.0 clients skip the new kinds
+//	      and cannot request stats; nothing they understood changed.
 const (
 	ProtoMajor = 1
-	ProtoMinor = 0
+	ProtoMinor = 1
 )
 
 // maxFrame bounds one JSON-lines frame. Frames beyond it are a protocol
@@ -68,8 +78,11 @@ type message struct {
 	// TimeScale. Zero (absent) skips the observation.
 	Real float64 `json:"real,omitempty"`
 
-	// watch / welcome
+	// watch / welcome / stats reply
 	Proto *wireVersion `json:"proto,omitempty"`
+
+	// stats reply (absent on the request)
+	Stats *wireStats `json:"stats,omitempty"`
 }
 
 // wireVersion is the event-stream protocol version of a peer.
@@ -90,12 +103,16 @@ func (v wireVersion) compatible() error {
 }
 
 // Event kinds carried by eventFrame, one per observe.Observer method.
+// The worker lifecycle kinds were added in protocol 1.1; 1.0 clients
+// skip them (the forward-compatibility rule validate/deliver encode).
 const (
 	kindBatchDecided   = "batch_decided"
 	kindGenerationBest = "generation_best"
 	kindMigration      = "migration"
 	kindDispatch       = "dispatch"
 	kindBudgetStop     = "budget_stop"
+	kindWorkerJoined   = "worker_joined" // 1.1
+	kindWorkerLeft     = "worker_left"   // 1.1
 )
 
 // eventFrame is the versioned server→client wire form of one Observer
@@ -122,6 +139,8 @@ type eventFrame struct {
 	Migration  *wireMigration      `json:"migration,omitempty"`
 	Dispatch   *wireDispatch       `json:"dispatch,omitempty"`
 	Budget     *wireBudgetStop     `json:"budget,omitempty"`
+	Joined     *wireWorkerJoined   `json:"joined,omitempty"`
+	Left       *wireWorkerLeft     `json:"left,omitempty"`
 }
 
 // The event payloads mirror internal/observe's types field for field,
@@ -159,6 +178,20 @@ type wireBudgetStop struct {
 	Spent      float64 `json:"spent"`
 }
 
+type wireWorkerJoined struct {
+	Name    string  `json:"name"`
+	Rate    float64 `json:"rate"` // claimed Mflop/s
+	Workers int     `json:"workers"`
+	At      float64 `json:"at"`
+}
+
+type wireWorkerLeft struct {
+	Name     string  `json:"name"`
+	Reissued int     `json:"reissued"`
+	Workers  int     `json:"workers"`
+	At       float64 `json:"at"`
+}
+
 // validate checks an event frame's internal consistency: version
 // compatibility and that the payload matching Kind is present. An
 // unknown kind is an error at this side's minor version — the peer is
@@ -181,6 +214,10 @@ func (f *eventFrame) validate() error {
 		missing = f.Dispatch == nil
 	case kindBudgetStop:
 		missing = f.Budget == nil
+	case kindWorkerJoined:
+		missing = f.Joined == nil
+	case kindWorkerLeft:
+		missing = f.Left == nil
 	case "":
 		return errors.New("dist: event frame without kind")
 	default:
@@ -236,6 +273,20 @@ func (f *eventFrame) deliver(o observe.Observer) {
 			Budget:     units.Seconds(f.Budget.Budget),
 			Spent:      units.Seconds(f.Budget.Spent),
 		})
+	case kindWorkerJoined:
+		o.OnWorkerJoined(observe.WorkerJoined{
+			Name:    f.Joined.Name,
+			Rate:    units.Rate(f.Joined.Rate),
+			Workers: f.Joined.Workers,
+			At:      units.Seconds(f.Joined.At),
+		})
+	case kindWorkerLeft:
+		o.OnWorkerLeft(observe.WorkerLeft{
+			Name:     f.Left.Name,
+			Reissued: f.Left.Reissued,
+			Workers:  f.Left.Workers,
+			At:       units.Seconds(f.Left.At),
+		})
 	}
 }
 
@@ -268,7 +319,7 @@ func decodeWireMessage(line []byte) (msg *message, ev *eventFrame, err error) {
 			return nil, nil, err
 		}
 		return nil, &f, nil
-	case msgHello, msgAssign, msgDone, msgWatch, msgWelcome:
+	case msgHello, msgAssign, msgDone, msgWatch, msgWelcome, msgStats:
 		var m message
 		if err := json.Unmarshal(line, &m); err != nil {
 			return nil, nil, fmt.Errorf("dist: malformed %s frame: %w", probe.Type, err)
@@ -312,6 +363,16 @@ func (m *message) validate() error {
 			return fmt.Errorf("dist: %s without protocol version", m.Type)
 		}
 		return m.Proto.compatible()
+	case msgStats:
+		// The request is a bare {"type":"stats"}; the reply carries the
+		// server's version alongside the snapshot, and that version must
+		// be speakable.
+		if m.Proto != nil {
+			return m.Proto.compatible()
+		}
+		if m.Stats != nil {
+			return errors.New("dist: stats reply without protocol version")
+		}
 	}
 	return nil
 }

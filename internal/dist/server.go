@@ -14,6 +14,7 @@ import (
 	"pnsched/internal/observe"
 	"pnsched/internal/sched"
 	"pnsched/internal/smoothing"
+	"pnsched/internal/stats"
 	"pnsched/internal/task"
 	"pnsched/internal/units"
 )
@@ -89,9 +90,21 @@ type Server struct {
 	submitted int
 	completed int
 	reissued  int
+	batches   int // committed batch-scheduling decisions
 	closed    bool
 	start     time.Time
+
+	// latency is a sliding window of dispatch→done wall-clock round
+	// trips in seconds (latencyWindow samples, written circularly at
+	// latW, latN valid) feeding the Snapshot quantiles.
+	latency    []float64
+	latW, latN int
 }
+
+// latencyWindow is the number of recent dispatch→done round trips kept
+// for the Snapshot latency quantiles. Bounded so a long-lived server's
+// snapshot reflects current behaviour, not its whole history.
+const latencyWindow = 512
 
 // remoteWorker is the server-side record of one connected client
 // processor. All mutable fields are guarded by the owning Server's mu;
@@ -303,6 +316,56 @@ func (s *Server) Workers() []WorkerStatus {
 	return out
 }
 
+// Snapshot returns a point-in-time operational view of the server:
+// uptime, cumulative counters, queue depths, the per-worker pool,
+// attached watchers, and dispatch-latency quantiles. It is the
+// in-process form of what the stats wire message serves to remote
+// clients.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{
+		Uptime:    units.Seconds(time.Since(s.start).Seconds()),
+		Submitted: s.submitted,
+		Completed: s.completed,
+		Reissued:  s.reissued,
+		Pending:   s.queue.Len(),
+		Batches:   s.batches,
+	}
+	for _, w := range s.workers {
+		snap.Running += len(w.outstanding)
+		snap.Workers = append(snap.Workers, WorkerSnapshot{
+			Name:      w.name,
+			Rate:      units.Rate(w.rate.ValueOr(float64(w.claimed))),
+			Running:   len(w.outstanding),
+			Completed: w.completed,
+		})
+	}
+	var window []float64
+	if s.latN > 0 {
+		window = make([]float64, s.latN)
+		first := s.latW - s.latN
+		if first < 0 {
+			first += latencyWindow
+		}
+		for i := 0; i < s.latN; i++ {
+			window[i] = s.latency[(first+i)%latencyWindow]
+		}
+	}
+	s.mu.Unlock()
+	if len(window) > 0 {
+		snap.Latency = LatencySummary{
+			Samples: len(window),
+			P50:     units.Seconds(stats.Quantile(window, 0.50)),
+			P90:     units.Seconds(stats.Quantile(window, 0.90)),
+			P99:     units.Seconds(stats.Quantile(window, 0.99)),
+		}
+	}
+	if s.cfg.Events != nil {
+		snap.Watchers = s.cfg.Events.Watchers()
+	}
+	return snap
+}
+
 // Close shuts the server down: the listener is closed, every worker and
 // watch connection is dropped, and blocked Wait calls return
 // ErrServerClosed. Close is idempotent.
@@ -372,6 +435,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.serveWorker(conn, br, m.Name, units.Rate(m.Rate))
 	case msgWatch:
 		s.serveWatch(conn, br)
+	case msgStats:
+		s.serveStats(conn)
 	default:
 		s.logf("dist: rejecting connection from %v: first frame %q is not a handshake",
 			conn.RemoteAddr(), m.Type)
@@ -400,9 +465,18 @@ func (s *Server) serveWorker(conn net.Conn, br *bufio.Reader, name string, claim
 		return
 	}
 	s.workers = append(s.workers, w)
+	pool := len(s.workers)
 	s.cond.Broadcast() // queued work may now be schedulable
 	s.mu.Unlock()
 	s.logf("dist: worker %s joined at %v (%v)", name, conn.RemoteAddr(), claimed)
+	if s.observer != nil {
+		s.observer.OnWorkerJoined(observe.WorkerJoined{
+			Name:    name,
+			Rate:    claimed,
+			Workers: pool,
+			At:      units.Seconds(time.Since(s.start).Seconds()),
+		})
+	}
 
 	go s.writeLoop(w)
 
@@ -485,6 +559,22 @@ func (s *Server) serveWatch(conn net.Conn, br *bufio.Reader) {
 	s.logf("dist: watch client %v unsubscribed", conn.RemoteAddr())
 }
 
+// serveStats answers a one-shot stats request (protocol 1.1): one
+// versioned reply carrying the current Snapshot, then close. The
+// request itself was the connection's first frame — already consumed
+// and validated by handleConn.
+func (s *Server) serveStats(conn net.Conn) {
+	defer conn.Close()
+	snap := s.Snapshot()
+	if err := json.NewEncoder(conn).Encode(&message{
+		Type:  msgStats,
+		Proto: &wireVersion{Major: ProtoMajor, Minor: ProtoMinor},
+		Stats: snap.toWire(),
+	}); err != nil {
+		s.logf("dist: stats reply to %v failed: %v", conn.RemoteAddr(), err)
+	}
+}
+
 // writeLoop drains a worker's outbound queue onto its connection. A
 // write failure closes the connection, which surfaces in the read loop
 // and triggers unregistration there.
@@ -515,6 +605,7 @@ func (s *Server) handleDone(w *remoteWorker, id task.ID, elapsed units.Seconds, 
 	}
 	w.completed++
 	s.completed++
+	s.observeLatencyLocked(time.Since(p.sentAt).Seconds())
 	if elapsed > 0 {
 		w.rate.Observe(float64(p.t.Size) / float64(elapsed))
 	}
@@ -525,12 +616,35 @@ func (s *Server) handleDone(w *remoteWorker, id task.ID, elapsed units.Seconds, 
 		// worker's simulated:real clock ratio) so Γc lives on the same
 		// simulated clock as every other scheduler quantity, whatever
 		// the worker's TimeScale. Smoothing and the solo-dispatch gate
-		// bound the jitter this amplifies under heavy compression.
-		if slack := time.Since(p.sentAt).Seconds() - real; slack > 0 {
+		// bound the jitter this amplifies under heavy compression, and
+		// slack below commNoiseFloor is discarded outright: at that
+		// magnitude the measurement is goroutine-scheduling noise, and
+		// the elapsed/real ratio would amplify it into a phantom link
+		// cost large enough to distort placement (loopback tests under
+		// the race detector hit exactly this).
+		if slack := time.Since(p.sentAt).Seconds() - real; slack > commNoiseFloor {
 			w.comm.Observe(slack * float64(elapsed) / real)
 		}
 	}
 	s.cond.Broadcast()
+}
+
+// commNoiseFloor is the smallest round-trip slack, in real seconds,
+// accepted as a Γc link-overhead observation. Sub-millisecond slack on
+// a local network is indistinguishable from scheduler jitter.
+const commNoiseFloor = 1e-3
+
+// observeLatencyLocked appends one dispatch→done round trip to the
+// sliding latency window. Caller holds mu.
+func (s *Server) observeLatencyLocked(sec float64) {
+	if s.latency == nil {
+		s.latency = make([]float64, latencyWindow)
+	}
+	s.latency[s.latW] = sec
+	s.latW = (s.latW + 1) % latencyWindow
+	if s.latN < latencyWindow {
+		s.latN++
+	}
 }
 
 // unregister removes a worker and returns its unfinished tasks to the
@@ -559,12 +673,21 @@ func (s *Server) unregister(w *remoteWorker) {
 	s.reissued += len(lost)
 	s.queue.PushAll(lost)
 	close(w.out)
+	pool := len(s.workers)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	if len(lost) > 0 {
 		s.logf("dist: worker %s left; reissuing %d tasks", w.name, len(lost))
 	} else {
 		s.logf("dist: worker %s left", w.name)
+	}
+	if s.observer != nil {
+		s.observer.OnWorkerLeft(observe.WorkerLeft{
+			Name:     w.name,
+			Reissued: len(lost),
+			Workers:  pool,
+			At:       units.Seconds(time.Since(s.start).Seconds()),
+		})
 	}
 }
 
@@ -574,7 +697,6 @@ func (s *Server) unregister(w *remoteWorker) {
 // runs the batch scheduler outside the lock, and dispatches the
 // resulting assignment.
 func (s *Server) scheduleLoop() {
-	invocations := 0
 	for {
 		s.mu.Lock()
 		for !s.closed && (s.queue.Empty() || !s.wantsWorkLocked()) {
@@ -603,7 +725,10 @@ func (s *Server) scheduleLoop() {
 		asg, cost := s.cfg.Scheduler.ScheduleBatch(batch, snap)
 		s.logf("dist: scheduled batch of %d tasks across %d workers (modelled cost %v)",
 			len(batch), snap.M(), cost)
-		invocations++
+		s.mu.Lock()
+		s.batches++
+		invocations := s.batches
+		s.mu.Unlock()
 		if s.observer != nil {
 			s.observer.OnBatchDecided(observe.BatchDecision{
 				Invocation: invocations,

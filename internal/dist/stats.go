@@ -1,0 +1,209 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+
+	"pnsched/internal/units"
+)
+
+// Snapshot is a point-in-time view of one live server: queue depths,
+// cumulative counters, the connected worker pool, attached watchers,
+// and dispatch-latency quantiles. It is what Server.Snapshot returns
+// in-process and what the stats wire message carries to remote clients
+// (pnserver -stats).
+type Snapshot struct {
+	// Uptime is seconds since the server started — the same clock the
+	// event frames' At fields use.
+	Uptime units.Seconds
+	// Submitted, Completed and Reissued are cumulative task counters:
+	// tasks handed to Submit, tasks acknowledged done by workers, and
+	// tasks pulled back from departed workers for rescheduling.
+	Submitted int
+	Completed int
+	Reissued  int
+	// Pending and Running are current queue depths: tasks awaiting a
+	// batch decision, and tasks dispatched but not yet done.
+	Pending int
+	Running int
+	// Batches is the number of batch-scheduling decisions committed.
+	Batches int
+	// Workers describes the connected pool, in registration order.
+	Workers []WorkerSnapshot
+	// Watchers describes the attached event-stream subscribers, in
+	// unspecified order.
+	Watchers []WatcherSnapshot
+	// Latency summarises recent dispatch→done wall-clock round trips.
+	Latency LatencySummary
+}
+
+// WorkerSnapshot is one connected worker's slice of a Snapshot.
+type WorkerSnapshot struct {
+	// Name is the worker's hello identity.
+	Name string
+	// Rate is the execution rate the worker claimed, in Mflop/s.
+	Rate units.Rate
+	// Running and Completed are this worker's in-flight and finished
+	// task counts.
+	Running   int
+	Completed int
+}
+
+// WatcherSnapshot is one event-stream subscriber's slice of a
+// Snapshot: how full its send queue currently is and how many frames
+// the drop-and-count policy has discarded for it so far.
+type WatcherSnapshot struct {
+	Queued  int
+	Dropped uint64
+}
+
+// LatencySummary holds quantiles over the server's sliding window of
+// dispatch→done wall-clock round trips (latencyWindow samples). A zero
+// Samples means no task has completed yet and the quantiles are
+// meaningless.
+type LatencySummary struct {
+	Samples       int
+	P50, P90, P99 units.Seconds
+}
+
+// wireStats is the JSON form of Snapshot carried by the stats reply.
+// Like the event payloads it is flattened onto plain scalars so the
+// wire format is independent of the unit types' Go representation.
+type wireStats struct {
+	Uptime    float64           `json:"uptime"`
+	Submitted int               `json:"submitted"`
+	Completed int               `json:"completed"`
+	Reissued  int               `json:"reissued"`
+	Pending   int               `json:"pending"`
+	Running   int               `json:"running"`
+	Batches   int               `json:"batches"`
+	Workers   []wireWorkerStat  `json:"workers,omitempty"`
+	Watchers  []wireWatcherStat `json:"watchers,omitempty"`
+	Latency   *wireLatency      `json:"latency,omitempty"`
+}
+
+type wireWorkerStat struct {
+	Name      string  `json:"name"`
+	Rate      float64 `json:"rate"`
+	Running   int     `json:"running"`
+	Completed int     `json:"completed"`
+}
+
+type wireWatcherStat struct {
+	Queued  int    `json:"queued"`
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+type wireLatency struct {
+	Samples int     `json:"samples"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+}
+
+func (s Snapshot) toWire() *wireStats {
+	w := &wireStats{
+		Uptime:    float64(s.Uptime),
+		Submitted: s.Submitted,
+		Completed: s.Completed,
+		Reissued:  s.Reissued,
+		Pending:   s.Pending,
+		Running:   s.Running,
+		Batches:   s.Batches,
+	}
+	for _, ws := range s.Workers {
+		w.Workers = append(w.Workers, wireWorkerStat{
+			Name:      ws.Name,
+			Rate:      float64(ws.Rate),
+			Running:   ws.Running,
+			Completed: ws.Completed,
+		})
+	}
+	for _, ws := range s.Watchers {
+		w.Watchers = append(w.Watchers, wireWatcherStat{Queued: ws.Queued, Dropped: ws.Dropped})
+	}
+	if s.Latency.Samples > 0 {
+		w.Latency = &wireLatency{
+			Samples: s.Latency.Samples,
+			P50:     float64(s.Latency.P50),
+			P90:     float64(s.Latency.P90),
+			P99:     float64(s.Latency.P99),
+		}
+	}
+	return w
+}
+
+func (w *wireStats) toSnapshot() Snapshot {
+	s := Snapshot{
+		Uptime:    units.Seconds(w.Uptime),
+		Submitted: w.Submitted,
+		Completed: w.Completed,
+		Reissued:  w.Reissued,
+		Pending:   w.Pending,
+		Running:   w.Running,
+		Batches:   w.Batches,
+	}
+	for _, ws := range w.Workers {
+		s.Workers = append(s.Workers, WorkerSnapshot{
+			Name:      ws.Name,
+			Rate:      units.Rate(ws.Rate),
+			Running:   ws.Running,
+			Completed: ws.Completed,
+		})
+	}
+	for _, ws := range w.Watchers {
+		s.Watchers = append(s.Watchers, WatcherSnapshot{Queued: ws.Queued, Dropped: ws.Dropped})
+	}
+	if w.Latency != nil {
+		s.Latency = LatencySummary{
+			Samples: w.Latency.Samples,
+			P50:     units.Seconds(w.Latency.P50),
+			P90:     units.Seconds(w.Latency.P90),
+			P99:     units.Seconds(w.Latency.P99),
+		}
+	}
+	return s
+}
+
+// FetchStats dials a running server, requests one stats snapshot, and
+// returns it. The exchange is a one-shot connection: the client's
+// first (and only) frame is {"type":"stats"}, the server replies with
+// a versioned snapshot and closes. A 1.0 server does not know the
+// message and drops the connection, which surfaces here as an error —
+// stats require a 1.1+ server.
+func FetchStats(ctx context.Context, addr string) (Snapshot, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("dist: stats dial: %w", err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	if err := json.NewEncoder(conn).Encode(&message{Type: msgStats}); err != nil {
+		return Snapshot{}, fmt.Errorf("dist: stats request: %w", err)
+	}
+	line, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		if ctx.Err() != nil {
+			return Snapshot{}, ctx.Err()
+		}
+		return Snapshot{}, fmt.Errorf("dist: stats reply: %w (server may predate protocol 1.1)", err)
+	}
+	m, _, err := decodeWireMessage(line)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if m == nil || m.Type != msgStats {
+		return Snapshot{}, errors.New("dist: unexpected reply to stats request")
+	}
+	if m.Stats == nil {
+		return Snapshot{}, errors.New("dist: stats reply without snapshot")
+	}
+	return m.Stats.toSnapshot(), nil
+}

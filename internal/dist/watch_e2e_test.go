@@ -46,11 +46,11 @@ func (r *recordingObserver) funcs() observe.Funcs {
 	}
 }
 
-// startStreamingServer is startServer plus event streaming: the
-// broadcaster carries both the server's events and the GA scheduler's.
-func startStreamingServer(t *testing.T, queue int) (*dist.Server, *dist.Broadcaster, string) {
+// newStreamingServer builds a PN server wired to the given
+// broadcaster, which carries both the server's events and the GA
+// scheduler's. The caller attaches the listener.
+func newStreamingServer(t *testing.T, b *dist.Broadcaster) *dist.Server {
 	t.Helper()
-	b := dist.NewBroadcaster(queue)
 	cfg := fastConfig()
 	cfg.Observer = b // GA-level events flow straight into the stream
 	srv, err := dist.NewServer(dist.ServerConfig{
@@ -60,6 +60,14 @@ func startStreamingServer(t *testing.T, queue int) (*dist.Server, *dist.Broadcas
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
 	}
+	return srv
+}
+
+// startStreamingServer is startServer plus event streaming.
+func startStreamingServer(t *testing.T, queue int) (*dist.Server, *dist.Broadcaster, string) {
+	t.Helper()
+	b := dist.NewBroadcaster(queue, 0)
+	srv := newStreamingServer(t, b)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)

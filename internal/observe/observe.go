@@ -17,6 +17,14 @@
 //   - Dispatch        — a task was sent to a processor / worker
 //   - BudgetStop      — a GA run stopped because the §3.4
 //     time-to-first-idle budget was exhausted
+//   - WorkerJoined    — a worker registered with the live server
+//   - WorkerLeft      — a worker disconnected (its unfinished tasks
+//     were reissued)
+//
+// The worker lifecycle events are emitted only by the live runtime —
+// the simulator's processor set is fixed per run — but they are part
+// of the one shared vocabulary so wire subscribers can follow pool
+// churn with the same Observer they use for everything else.
 //
 // Implementations must be cheap and must not block: events are
 // delivered synchronously from the emitting runtime's hot path. For
@@ -94,6 +102,33 @@ type BudgetStop struct {
 	Spent units.Seconds
 }
 
+// WorkerJoined reports a worker registering with the live server.
+type WorkerJoined struct {
+	// Name is the worker's wire identity (hello name).
+	Name string
+	// Rate is the execution rate the worker claimed when joining, in
+	// Mflop/s (its Linpack rating for pnworker).
+	Rate units.Rate
+	// Workers is the connected-worker count after this join.
+	Workers int
+	// At is the join time in seconds since the server started.
+	At units.Seconds
+}
+
+// WorkerLeft reports a worker disconnecting from the live server.
+type WorkerLeft struct {
+	// Name is the worker's wire identity.
+	Name string
+	// Reissued is the number of unfinished tasks the worker held, all
+	// returned to the unscheduled queue (the paper's dynamic
+	// rescheduling on machine loss).
+	Reissued int
+	// Workers is the connected-worker count after this departure.
+	Workers int
+	// At is the departure time in seconds since the server started.
+	At units.Seconds
+}
+
 // Observer receives scheduling events. All methods must be safe to
 // call with the zero value of their event's optional fields;
 // implementations that only care about a subset should embed Funcs
@@ -104,6 +139,8 @@ type Observer interface {
 	OnMigration(Migration)
 	OnDispatch(Dispatch)
 	OnBudgetStop(BudgetStop)
+	OnWorkerJoined(WorkerJoined)
+	OnWorkerLeft(WorkerLeft)
 }
 
 // Funcs adapts plain functions to Observer; nil fields ignore their
@@ -114,6 +151,8 @@ type Funcs struct {
 	Migration      func(Migration)
 	Dispatch       func(Dispatch)
 	BudgetStop     func(BudgetStop)
+	WorkerJoined   func(WorkerJoined)
+	WorkerLeft     func(WorkerLeft)
 }
 
 // OnBatchDecided implements Observer.
@@ -151,6 +190,20 @@ func (f Funcs) OnBudgetStop(e BudgetStop) {
 	}
 }
 
+// OnWorkerJoined implements Observer.
+func (f Funcs) OnWorkerJoined(e WorkerJoined) {
+	if f.WorkerJoined != nil {
+		f.WorkerJoined(e)
+	}
+}
+
+// OnWorkerLeft implements Observer.
+func (f Funcs) OnWorkerLeft(e WorkerLeft) {
+	if f.WorkerLeft != nil {
+		f.WorkerLeft(e)
+	}
+}
+
 // multi fans every event out to several observers in order.
 type multi []Observer
 
@@ -181,6 +234,18 @@ func (m multi) OnDispatch(e Dispatch) {
 func (m multi) OnBudgetStop(e BudgetStop) {
 	for _, o := range m {
 		o.OnBudgetStop(e)
+	}
+}
+
+func (m multi) OnWorkerJoined(e WorkerJoined) {
+	for _, o := range m {
+		o.OnWorkerJoined(e)
+	}
+}
+
+func (m multi) OnWorkerLeft(e WorkerLeft) {
+	for _, o := range m {
+		o.OnWorkerLeft(e)
 	}
 }
 

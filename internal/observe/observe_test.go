@@ -9,6 +9,8 @@ func TestFuncsNilFieldsAreNoOps(t *testing.T) {
 	f.OnMigration(Migration{})
 	f.OnDispatch(Dispatch{})
 	f.OnBudgetStop(BudgetStop{})
+	f.OnWorkerJoined(WorkerJoined{})
+	f.OnWorkerLeft(WorkerLeft{})
 }
 
 func TestFuncsDispatchesToFields(t *testing.T) {
@@ -19,6 +21,8 @@ func TestFuncsDispatchesToFields(t *testing.T) {
 		Migration:      func(Migration) { got = append(got, "mig") },
 		Dispatch:       func(Dispatch) { got = append(got, "disp") },
 		BudgetStop:     func(BudgetStop) { got = append(got, "budget") },
+		WorkerJoined:   func(WorkerJoined) { got = append(got, "joined") },
+		WorkerLeft:     func(WorkerLeft) { got = append(got, "left") },
 	}
 	var o Observer = f
 	o.OnBatchDecided(BatchDecision{})
@@ -26,7 +30,9 @@ func TestFuncsDispatchesToFields(t *testing.T) {
 	o.OnMigration(Migration{})
 	o.OnDispatch(Dispatch{})
 	o.OnBudgetStop(BudgetStop{})
-	want := []string{"batch", "gen", "mig", "disp", "budget"}
+	o.OnWorkerJoined(WorkerJoined{})
+	o.OnWorkerLeft(WorkerLeft{})
+	want := []string{"batch", "gen", "mig", "disp", "budget", "joined", "left"}
 	if len(got) != len(want) {
 		t.Fatalf("delivered %v, want %v", got, want)
 	}
@@ -54,5 +60,15 @@ func TestMulti(t *testing.T) {
 	m.OnDispatch(Dispatch{})
 	if a != 1 || b != 1 {
 		t.Errorf("fan-out delivered a=%d b=%d, want 1/1", a, b)
+	}
+	j, l := 0, 0
+	m2 := Multi(
+		Funcs{WorkerJoined: func(WorkerJoined) { j++ }, WorkerLeft: func(WorkerLeft) { l++ }},
+		Funcs{WorkerJoined: func(WorkerJoined) { j++ }},
+	)
+	m2.OnWorkerJoined(WorkerJoined{Name: "w", Workers: 1})
+	m2.OnWorkerLeft(WorkerLeft{Name: "w", Workers: 0})
+	if j != 2 || l != 1 {
+		t.Errorf("worker lifecycle fan-out delivered joined=%d left=%d, want 2/1", j, l)
 	}
 }

@@ -20,8 +20,28 @@ type Factory func(spec Spec, r *RNG) (Scheduler, error)
 var registry = struct {
 	sync.RWMutex
 	factories map[string]Factory
+	info      map[string]Info
 	order     []string // canonical names, registration order
-}{factories: map[string]Factory{}}
+}{factories: map[string]Factory{}, info: map[string]Info{}}
+
+// Info is a registered scheduler's descriptive metadata, surfaced in
+// help output (pnsim/pnserver -schedulers), documentation, and the
+// Describe/Infos API. The zero metadata (everything false, empty
+// Summary) is what plain Register records.
+type Info struct {
+	// Name is the canonical registry name.
+	Name string
+	// Batch reports batch-mode scheduling: the scheduler maps whole
+	// batches of tasks at once (and is usable with Serve). Immediate
+	// schedulers assign one task at a time, FCFS, and run only under
+	// the simulator.
+	Batch bool
+	// GA reports a genetic-algorithm-based scheduler (ZO, PN,
+	// PN-ISLAND); the others are O(n·M) heuristics.
+	GA bool
+	// Summary is a one-line description for listings.
+	Summary string
+}
 
 // canonicalName normalizes a scheduler name for registry lookup:
 // names are case-insensitive ("pn-island" and "PN-ISLAND" are the same
@@ -39,20 +59,53 @@ func canonicalName(name string) string {
 // reachable from every construction surface in the repo (pnsim
 // -sched, scenario files, experiments).
 func Register(name string, f Factory) {
-	c := canonicalName(name)
+	RegisterInfo(Info{Name: name}, f)
+}
+
+// RegisterInfo is Register carrying descriptive metadata alongside the
+// factory: mode (batch/immediate), GA or heuristic, and a one-line
+// summary, all surfaced by Describe, Infos and the CLI -schedulers
+// listings. The same name rules and panics as Register apply.
+func RegisterInfo(info Info, f Factory) {
+	c := canonicalName(info.Name)
 	if c == "" {
 		panic("pnsched: Register with empty scheduler name")
 	}
 	if f == nil {
-		panic(fmt.Sprintf("pnsched: Register(%q) with nil factory", name))
+		panic(fmt.Sprintf("pnsched: Register(%q) with nil factory", info.Name))
 	}
+	info.Name = c
 	registry.Lock()
 	defer registry.Unlock()
 	if _, dup := registry.factories[c]; dup {
 		panic(fmt.Sprintf("pnsched: scheduler %q already registered", c))
 	}
 	registry.factories[c] = f
+	registry.info[c] = info
 	registry.order = append(registry.order, c)
+}
+
+// Describe returns the named scheduler's metadata, reporting whether
+// it is registered. Name resolution is case-insensitive, like every
+// registry lookup.
+func Describe(name string) (Info, bool) {
+	c := canonicalName(name)
+	registry.RLock()
+	defer registry.RUnlock()
+	info, ok := registry.info[c]
+	return info, ok
+}
+
+// Infos returns every registered scheduler's metadata in registration
+// order — the same order as Names.
+func Infos() []Info {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Info, len(registry.order))
+	for i, c := range registry.order {
+		out[i] = registry.info[c]
+	}
+	return out
 }
 
 // Names returns every registered scheduler's canonical name in

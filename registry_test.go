@@ -74,6 +74,58 @@ func TestRegisterExternalScheduler(t *testing.T) {
 	}
 }
 
+func TestDescribeMetadata(t *testing.T) {
+	// The twelve built-ins split into immediate and batch mode exactly
+	// as Serve's validation expects, and the GA flag marks the three
+	// GA-based schedulers.
+	batch := map[string]bool{"ZO": true, "PN": true, "MM": true, "MX": true, "PN-ISLAND": true, "SUF": true}
+	ga := map[string]bool{"ZO": true, "PN": true, "PN-ISLAND": true}
+	for _, name := range []string{"EF", "LL", "RR", "ZO", "PN", "MM", "MX", "PN-ISLAND", "MET", "OLB", "KPB", "SUF"} {
+		info, ok := Describe(name)
+		if !ok {
+			t.Errorf("Describe(%q) not found", name)
+			continue
+		}
+		if info.Name != name {
+			t.Errorf("Describe(%q).Name = %q", name, info.Name)
+		}
+		if info.Batch != batch[name] {
+			t.Errorf("Describe(%q).Batch = %v, want %v", name, info.Batch, batch[name])
+		}
+		if info.GA != ga[name] {
+			t.Errorf("Describe(%q).GA = %v, want %v", name, info.GA, ga[name])
+		}
+		if info.Summary == "" {
+			t.Errorf("Describe(%q) has no summary", name)
+		}
+	}
+	// Case-insensitive like every registry lookup.
+	if info, ok := Describe(" pn-island "); !ok || info.Name != "PN-ISLAND" {
+		t.Errorf("Describe is not canonicalising: %+v, %v", info, ok)
+	}
+	if _, ok := Describe("no-such"); ok {
+		t.Error("Describe invented metadata for an unregistered name")
+	}
+}
+
+func TestInfosMatchesNames(t *testing.T) {
+	names, infos := Names(), Infos()
+	if len(names) != len(infos) {
+		t.Fatalf("Names() has %d entries, Infos() %d", len(names), len(infos))
+	}
+	for i := range names {
+		if infos[i].Name != names[i] {
+			t.Errorf("Infos()[%d].Name = %q, want %q (same order as Names)", i, infos[i].Name, names[i])
+		}
+	}
+	// Plain Register (no metadata) still yields a well-formed Info.
+	Register("test-bare-info", func(Spec, *RNG) (Scheduler, error) { return sched.EF{}, nil })
+	info, ok := Describe("test-bare-info")
+	if !ok || info.Name != "TEST-BARE-INFO" || info.Batch || info.GA || info.Summary != "" {
+		t.Errorf("bare Register metadata = %+v, %v; want canonical name and zero flags", info, ok)
+	}
+}
+
 func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
 	mustPanic(t, "duplicate", func() {
 		Register("pn", func(Spec, *RNG) (Scheduler, error) { return sched.EF{}, nil })

@@ -1,0 +1,83 @@
+#!/bin/sh
+# docscheck: keeps the wire-protocol documentation honest.
+#
+# The protocol's message types and event kinds are string constants in
+# internal/dist/protocol.go; README.md and docs/wire-protocol.md each
+# carry a table of the event kinds (between wire-kinds markers) and
+# the spec additionally tables the message types (wire-messages
+# markers). This script fails when they drift in either direction:
+#
+#   - a constant in protocol.go missing from a documented table
+#     (someone added a kind without documenting it), or
+#   - a documented kind/type with no backing constant (someone renamed
+#     or removed a kind and left the docs behind).
+#
+# Run via `make docs-check` or directly:
+#
+#	sh scripts/docscheck.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+proto=internal/dist/protocol.go
+spec=docs/wire-protocol.md
+readme=README.md
+status=0
+
+# Constants, from the two dedicated const blocks in protocol.go.
+kinds=$(sed -n 's/^[[:space:]]*kind[A-Za-z]* *= *"\([a-z_]*\)".*/\1/p' "$proto")
+types=$(sed -n 's/^[[:space:]]*msg[A-Za-z]* *= *"\([a-z_]*\)".*/\1/p' "$proto")
+
+[ -n "$kinds" ] || { echo "docscheck: no event kinds found in $proto" >&2; exit 1; }
+[ -n "$types" ] || { echo "docscheck: no message types found in $proto" >&2; exit 1; }
+
+# marked_cells FILE MARKER — the first-column `code` cells of the
+# markdown table between <!-- MARKER:begin --> and <!-- MARKER:end -->.
+marked_cells() {
+	sed -n "/<!-- $2:begin -->/,/<!-- $2:end -->/p" "$1" |
+		sed -n 's/^| `\([a-z_]*\)`.*/\1/p'
+}
+
+check_table() { # FILE MARKER WANT-LIST LABEL
+	file=$1 marker=$2 want=$3 label=$4
+	have=$(marked_cells "$file" "$marker")
+	if [ -z "$have" ]; then
+		echo "docscheck: $file has no $marker table (markers missing?)" >&2
+		status=1
+		return
+	fi
+	for w in $want; do
+		if ! printf '%s\n' "$have" | grep -qx "$w"; then
+			echo "docscheck: $label \"$w\" ($proto) is missing from the $marker table in $file" >&2
+			status=1
+		fi
+	done
+	for h in $have; do
+		if ! printf '%s\n' "$want" | grep -qx "$h"; then
+			echo "docscheck: $file documents $label \"$h\" which $proto does not define" >&2
+			status=1
+		fi
+	done
+}
+
+check_table "$readme" wire-kinds "$kinds" "event kind"
+check_table "$spec" wire-kinds "$kinds" "event kind"
+check_table "$spec" wire-messages "$types" "message type"
+
+# Every event kind's golden file must exist and be referenced by the
+# spec's examples (the spec promises each kind is illustrated by one).
+for k in $kinds; do
+	golden=internal/dist/testdata/golden/event_$k.json
+	if [ ! -f "$golden" ]; then
+		echo "docscheck: event kind \"$k\" has no golden file $golden" >&2
+		status=1
+	elif ! grep -qF "\"kind\":\"$k\"" "$spec"; then
+		echo "docscheck: $spec shows no example frame for event kind \"$k\"" >&2
+		status=1
+	fi
+done
+
+if [ "$status" -eq 0 ]; then
+	echo "docscheck: README.md and docs/wire-protocol.md agree with $proto ($(printf '%s\n' "$types" | wc -l | tr -d ' ') message types, $(printf '%s\n' "$kinds" | wc -l | tr -d ' ') event kinds)"
+fi
+exit "$status"

@@ -23,6 +23,7 @@ type serveOpts struct {
 	nu       float64
 	backlog  int
 	queue    int
+	replay   int
 }
 
 // WithListenAddr sets the TCP address the server listens on. The
@@ -61,6 +62,14 @@ func WithBacklog(n int) ServeOption { return func(o *serveOpts) { o.backlog = n 
 // in its stream's Dropped field, never blocking the scheduler. 0
 // selects the default (dist.DefaultEventQueue, 256).
 func WithEventQueue(frames int) ServeOption { return func(o *serveOpts) { o.queue = frames } }
+
+// WithEventReplay sets the catch-up ring, in frames: a watcher that
+// subscribes mid-run first receives up to this many of the most recent
+// event frames — with their original sequence numbers, seamlessly
+// followed by the live stream — before going live. 0 selects the
+// default (dist.DefaultEventReplay, 64); a negative value disables
+// catch-up. The ring never exceeds the event queue size.
+func WithEventReplay(frames int) ServeOption { return func(o *serveOpts) { o.replay = frames } }
 
 // ServerStats is a point-in-time summary of a live server.
 type ServerStats struct {
@@ -109,7 +118,7 @@ func Serve(ctx context.Context, spec Spec, opts ...ServeOption) (*Server, error)
 		o(&so)
 	}
 
-	events := dist.NewBroadcaster(so.queue)
+	events := dist.NewBroadcaster(so.queue, so.replay)
 	// The scheduler publishes its GA-level events straight into the
 	// broadcaster (and the in-process observers); the server's own
 	// events reach the broadcaster via ServerConfig.Events.
@@ -182,6 +191,22 @@ func (s *Server) Stats() ServerStats {
 // Workers returns a snapshot of the connected workers: name, claimed
 // and believed (§3.6-smoothed) rates, pending work, completions.
 func (s *Server) Workers() []WorkerStatus { return s.srv.Workers() }
+
+// Snapshot returns a point-in-time operational view of the server:
+// uptime, cumulative task counters, pending/running queue depths,
+// batch count, the per-worker pool, attached watchers with their drop
+// counters, and dispatch-latency quantiles (P50/P90/P99 over a
+// sliding window of recent round trips). The same snapshot is served
+// over the wire to FetchStats clients and `pnserver -stats`.
+func (s *Server) Snapshot() ServerSnapshot { return s.srv.Snapshot() }
+
+// FetchStats requests a one-shot stats snapshot from a live scheduling
+// server at addr — the client side of Server.Snapshot, used by
+// `pnserver -stats`. The server must speak protocol 1.1 or newer;
+// older servers reject the request, which surfaces as an error.
+func FetchStats(ctx context.Context, addr string) (ServerSnapshot, error) {
+	return dist.FetchStats(ctx, addr)
+}
 
 // Close shuts the server down: the listener closes, worker and watch
 // connections drop, and blocked Wait calls return ErrServerClosed.

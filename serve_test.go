@@ -140,6 +140,125 @@ func TestServeEndToEnd(t *testing.T) {
 	wg.Wait()
 }
 
+// TestServeSnapshotAndReplay drives the operability surface of the
+// public API in one run: a late Watch subscriber catching up on the
+// server's replay ring (WithEventReplay) and the stats snapshot, both
+// in-process (Server.Snapshot) and over the wire (FetchStats).
+func TestServeSnapshotAndReplay(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	srv, err := pnsched.Serve(ctx, fastServeSpec(t),
+		pnsched.WithEventQueue(1<<16),
+		pnsched.WithEventReplay(1<<16))
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := pnsched.RunWorker(ctx, addr, pnsched.WorkerConfig{
+			Name: "only", Rate: 100, TimeScale: 2e-4,
+		})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Workers != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never registered: %+v", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Run a full workload to completion with nobody watching.
+	tasks := pnsched.GenerateTasks(60, pnsched.Uniform{Lo: 10, Hi: 1000}, pnsched.NewRNG(7))
+	srv.Submit(tasks)
+	if err := srv.Wait(30 * time.Second); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	// A watcher arriving after the fact still sees the whole run: the
+	// replay ring is larger than the event count, so every dispatch
+	// replays into its Observer.
+	var mu sync.Mutex
+	dispatches, joins := 0, 0
+	w, err := pnsched.Watch(ctx, addr, pnsched.ObserverFuncs{
+		Dispatch: func(pnsched.DispatchEvent) {
+			mu.Lock()
+			dispatches++
+			mu.Unlock()
+		},
+		WorkerJoined: func(pnsched.WorkerJoinedEvent) {
+			mu.Lock()
+			joins++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	for {
+		mu.Lock()
+		d := dispatches
+		mu.Unlock()
+		if d == len(tasks) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("late watcher replayed %d dispatches, want %d", d, len(tasks))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	if joins != 1 {
+		t.Errorf("late watcher replayed %d worker_joined events, want 1", joins)
+	}
+	mu.Unlock()
+	if d := w.Dropped(); d != 0 {
+		t.Errorf("replay counted %d drops; history must not count as dropped", d)
+	}
+
+	// Snapshot: the in-process and over-the-wire views agree on the
+	// completed run.
+	snap := srv.Snapshot()
+	remote, err := pnsched.FetchStats(ctx, addr)
+	if err != nil {
+		t.Fatalf("FetchStats: %v", err)
+	}
+	for _, s := range []pnsched.ServerSnapshot{snap, remote} {
+		if s.Submitted != len(tasks) || s.Completed != len(tasks) || s.Pending != 0 || s.Running != 0 {
+			t.Errorf("snapshot counters = %+v, want %d submitted and completed, none in flight", s, len(tasks))
+		}
+		if len(s.Workers) != 1 || s.Workers[0].Completed != len(tasks) {
+			t.Errorf("snapshot workers = %+v, want one worker with %d completions", s.Workers, len(tasks))
+		}
+		if s.Latency.Samples == 0 || s.Latency.P50 <= 0 {
+			t.Errorf("snapshot latency %+v, want populated quantiles", s.Latency)
+		}
+		if s.Batches == 0 || s.Uptime <= 0 {
+			t.Errorf("snapshot batches=%d uptime=%v, want both positive", s.Batches, s.Uptime)
+		}
+	}
+	if len(remote.Watchers) != 1 {
+		t.Errorf("remote snapshot watchers = %+v, want the one live watcher", remote.Watchers)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatalf("watcher Wait: %v", err)
+	}
+	cancel()
+	wg.Wait()
+}
+
 // TestServeRejectsImmediateSchedulers checks the one rule Serve adds
 // on top of Run's validation: immediate-mode schedulers have no batch
 // form for the live server to drive.
