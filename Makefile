@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz-smoke lint apicheck docs-check bench bench-smoke ci
+.PHONY: build test race fuzz-smoke lint apicheck docs-check bench bench-smoke bench-diff admin-smoke vulncheck ci
 
 build:
 	$(GO) build ./...
@@ -61,4 +61,31 @@ bench-smoke:
 	$(GO) run ./cmd/pnbench -figure island -profile fast -json BENCH_island.json
 	$(GO) run ./cmd/pnbench -figure evolve -profile fast -json BENCH_evolve.json
 
-ci: build lint apicheck docs-check test race fuzz-smoke bench bench-smoke
+# The benchmark regression gate: three fresh evolve-study runs against
+# the committed BENCH_evolve.json baseline, failing on >15% wall-clock
+# regression of the per-row minimum (BENCHDIFF_MAX_PCT overrides the
+# threshold). An intentional perf change regenerates the baseline with
+# `make bench-smoke` and commits it.
+bench-diff:
+	@rm -f BENCH_evolve.fresh.*.json
+	for i in 1 2 3; do \
+		$(GO) run ./cmd/pnbench -figure evolve -profile fast -json BENCH_evolve.fresh.$$i.json >/dev/null || exit 1; \
+	done
+	sh scripts/benchdiff.sh BENCH_evolve.json BENCH_evolve.fresh.1.json BENCH_evolve.fresh.2.json BENCH_evolve.fresh.3.json
+	@rm -f BENCH_evolve.fresh.*.json
+
+# Smoke the HTTP admin endpoint: short-lived pnserver -admin, curl
+# /healthz and /metrics, assert the instrument families render.
+admin-smoke:
+	sh scripts/adminsmoke.sh
+
+# Known-vulnerability scan. The tool is not vendored; CI installs it,
+# locally it runs only when already on PATH.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
+ci: build lint apicheck docs-check test race fuzz-smoke bench bench-diff bench-smoke admin-smoke vulncheck

@@ -96,6 +96,14 @@ type (
 	// LatencySummary holds dispatch-latency quantiles over a server's
 	// recent round trips.
 	LatencySummary = dist.LatencySummary
+	// DecisionTrace is the full record of one batch-scheduling
+	// decision — the generation-best makespan curve, the §3.4 budget
+	// ledger, and wall time — returned by Server.Traces in-process and
+	// FetchTraces over the wire (protocol 1.2).
+	DecisionTrace = dist.Trace
+	// TracePoint is one improvement on a DecisionTrace's
+	// generation-best makespan curve.
+	TracePoint = dist.TracePoint
 
 	// Observer receives the typed events of a scheduling run; see the
 	// internal/observe package documentation for the event contract.
@@ -109,6 +117,7 @@ type (
 	MigrationEvent    = observe.Migration
 	DispatchEvent     = observe.Dispatch
 	BudgetStopEvent   = observe.BudgetStop
+	EvolveDoneEvent   = observe.EvolveDone
 	WorkerJoinedEvent = observe.WorkerJoined
 	WorkerLeftEvent   = observe.WorkerLeft
 )

@@ -6,15 +6,22 @@
 // running pnserver's event stream (docs/wire-protocol.md) and prints
 // every scheduling event as it happens, plus a periodic stats line.
 // With -stats it requests one operational snapshot — queue depths,
-// per-worker counts, dispatch-latency quantiles — and exits.
+// per-worker counts, dispatch-latency quantiles — and exits. With
+// -trace it fetches the server's retained per-batch decision traces
+// and prints each batch's generation-best makespan curve and §3.4
+// budget ledger. With -admin the serving process additionally exposes
+// an HTTP admin endpoint (/metrics in Prometheus text format,
+// /healthz, /debug/pprof/).
 //
 // Usage:
 //
-//	pnserver -listen :9000 -tasks 500 &
+//	pnserver -listen :9000 -admin :9090 -tasks 500 &
 //	pnworker -connect localhost:9000 -rate 100 &
 //	pnworker -connect localhost:9000 -rate 400 &
 //	pnserver -watch localhost:9000
 //	pnserver -stats localhost:9000
+//	pnserver -trace localhost:9000
+//	curl localhost:9090/metrics
 //	pnserver -schedulers
 package main
 
@@ -23,7 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
@@ -34,8 +41,10 @@ import (
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:9000", "address to listen on")
+		admin    = flag.String("admin", "", "serve the HTTP admin endpoint (/metrics, /healthz, /debug/pprof/) on this address")
 		watch    = flag.String("watch", "", "watch a running server's event stream at this address instead of serving")
 		stats    = flag.String("stats", "", "print a running server's stats snapshot from this address and exit")
+		trace    = flag.String("trace", "", "print a running server's per-batch decision traces from this address and exit")
 		listSch  = flag.Bool("schedulers", false, "list the registered schedulers and exit")
 		nTasks   = flag.Int("tasks", 500, "tasks to generate (ignored with -workload)")
 		wlFile   = flag.String("workload", "", "load tasks from a pnworkload JSON file")
@@ -56,6 +65,10 @@ func main() {
 	}
 	if *stats != "" {
 		statsMain(*stats)
+		return
+	}
+	if *trace != "" {
+		traceMain(*trace)
 		return
 	}
 	if *watch != "" {
@@ -82,9 +95,19 @@ func main() {
 		fatal(fmt.Errorf("empty workload: nothing to schedule"))
 	}
 
-	logf := log.Printf
+	// Structured, levelled logging: -quiet keeps warnings and errors
+	// but drops the per-batch / per-worker progress records.
+	level := slog.LevelInfo
 	if *quiet {
-		logf = func(string, ...any) {}
+		level = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+	// The two lifecycle records — listening and run complete — survive
+	// -quiet: they are the run's summary, not progress.
+	life := logger
+	if *quiet {
+		life = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	// Lower the flags onto the same public Spec scenario files and
 	// library callers use; -islands != 0 selects the island-model
@@ -114,14 +137,23 @@ func main() {
 	}
 	ctx, cancelSignal := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancelSignal()
-	srv, err := pnsched.Serve(ctx, spec,
+	serveOpts := []pnsched.ServeOption{
 		pnsched.WithListenAddr(*listen),
-		pnsched.WithServeLog(logf))
+		pnsched.WithServeLog(logger),
+	}
+	if *admin != "" {
+		serveOpts = append(serveOpts, pnsched.WithAdminAddr(*admin))
+	}
+	srv, err := pnsched.Serve(ctx, spec, serveOpts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
-	log.Printf("pnserver: listening on %v with %d tasks", srv.Addr(), len(tasks))
+	logArgs := []any{"addr", srv.Addr(), "tasks", len(tasks)}
+	if a := srv.AdminAddr(); a != nil {
+		logArgs = append(logArgs, "admin", a)
+	}
+	life.Info("pnserver listening", logArgs...)
 
 	srv.Submit(tasks)
 
@@ -138,15 +170,16 @@ func main() {
 				fatal(err)
 			}
 			st := srv.Stats()
-			log.Printf("pnserver: %d/%d tasks complete (%d rescheduled) across %d workers in %v",
-				st.Completed, st.Submitted, st.Reissued, st.Workers, time.Since(start).Round(time.Millisecond))
+			life.Info("pnserver run complete",
+				"completed", st.Completed, "submitted", st.Submitted,
+				"reissued", st.Reissued, "workers", st.Workers,
+				"elapsed", time.Since(start).Round(time.Millisecond))
 			return
 		case <-tick.C:
-			if !*quiet {
-				st := srv.Stats()
-				log.Printf("pnserver: progress %d/%d (reissued %d, workers %d, watchers %d)",
-					st.Completed, st.Submitted, st.Reissued, st.Workers, st.Watchers)
-			}
+			st := srv.Stats()
+			slog.Info("pnserver progress",
+				"completed", st.Completed, "submitted", st.Submitted,
+				"reissued", st.Reissued, "workers", st.Workers, "watchers", st.Watchers)
 		}
 	}
 }
@@ -159,33 +192,39 @@ func watchMain(addr string) {
 	defer stop()
 	w, err := pnsched.Watch(ctx, addr, pnsched.ObserverFuncs{
 		BatchDecided: func(e pnsched.BatchDecision) {
-			log.Printf("watch: batch %d — %s placed %d tasks over %d workers (cost %v) at %v",
-				e.Invocation, e.Scheduler, e.Tasks, e.Procs, e.Cost, e.At)
+			slog.Info("batch decided", "invocation", e.Invocation, "scheduler", e.Scheduler,
+				"tasks", e.Tasks, "workers", e.Procs, "cost", float64(e.Cost),
+				"wall", float64(e.Wall), "at", float64(e.At))
 		},
 		GenerationBest: func(e pnsched.GenerationBest) {
-			log.Printf("watch: generation %d best makespan %v", e.Generation, e.Makespan)
+			slog.Info("generation best", "generation", e.Generation, "makespan", float64(e.Makespan))
 		},
 		Migration: func(e pnsched.MigrationEvent) {
-			log.Printf("watch: island migration round %d moved %d elites", e.Round, e.Migrants)
+			slog.Info("island migration", "round", e.Round, "migrants", e.Migrants)
 		},
 		Dispatch: func(e pnsched.DispatchEvent) {
-			log.Printf("watch: task %d → worker %d at %v", e.Task, e.Proc, e.At)
+			slog.Info("dispatch", "task", e.Task, "worker", e.Proc, "at", float64(e.At))
 		},
 		BudgetStop: func(e pnsched.BudgetStopEvent) {
-			log.Printf("watch: GA stopped at generation %d (budget %v, spent %v)",
-				e.Generation, e.Budget, e.Spent)
+			slog.Info("budget stop", "generation", e.Generation,
+				"budget", float64(e.Budget), "spent", float64(e.Spent))
+		},
+		EvolveDone: func(e pnsched.EvolveDoneEvent) {
+			slog.Info("evolve done", "generations", e.Generations, "evaluations", e.Evaluations,
+				"genes", e.Genes, "spent", float64(e.Spent), "best_makespan", float64(e.BestMakespan),
+				"reason", e.Reason)
 		},
 		WorkerJoined: func(e pnsched.WorkerJoinedEvent) {
-			log.Printf("watch: worker %s joined at %v Mflop/s (%d connected)", e.Name, float64(e.Rate), e.Workers)
+			slog.Info("worker joined", "worker", e.Name, "rate", float64(e.Rate), "workers", e.Workers)
 		},
 		WorkerLeft: func(e pnsched.WorkerLeftEvent) {
-			log.Printf("watch: worker %s left, %d tasks reissued (%d connected)", e.Name, e.Reissued, e.Workers)
+			slog.Info("worker left", "worker", e.Name, "reissued", e.Reissued, "workers", e.Workers)
 		},
 	})
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("pnserver: watching %s (ctrl-c to stop)", addr)
+	slog.Info("watching server", "addr", addr)
 
 	// Periodic stats line alongside the event stream. Older servers
 	// without the stats message just don't get the line.
@@ -200,16 +239,56 @@ func watchMain(addr string) {
 				}
 				continue
 			}
-			log.Printf("watch: stats %d/%d done, %d pending, %d running, %d workers, p50 dispatch %v (up %v)",
-				snap.Completed, snap.Submitted, snap.Pending, snap.Running,
-				len(snap.Workers), snap.Latency.P50, time.Duration(float64(snap.Uptime)*float64(time.Second)).Round(time.Second))
+			slog.Info("server stats",
+				"completed", snap.Completed, "submitted", snap.Submitted,
+				"pending", snap.Pending, "running", snap.Running,
+				"workers", len(snap.Workers), "p50_dispatch", time.Duration(float64(snap.Latency.P50)*float64(time.Second)),
+				"uptime", time.Duration(float64(snap.Uptime)*float64(time.Second)).Round(time.Second))
 		}
 	}()
 
 	if err := w.Wait(); err != nil && ctx.Err() == nil {
 		fatal(err)
 	}
-	log.Printf("pnserver: watch ended after %d events (%d dropped)", w.Frames(), w.Dropped())
+	slog.Info("watch ended", "frames", w.Frames(), "dropped", w.Dropped())
+}
+
+// traceMain fetches the server's retained per-batch decision traces
+// and prints, for each batch, the decision summary, the §3.4 budget
+// ledger, and the generation-best makespan curve.
+func traceMain(addr string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	traces, err := pnsched.FetchTraces(ctx, addr)
+	if err != nil {
+		fatal(err)
+	}
+	if len(traces) == 0 {
+		fmt.Println("no decision traces retained yet")
+		return
+	}
+	for _, t := range traces {
+		fmt.Printf("batch %d: %s placed %d tasks over %d workers (cost %v, wall %v)\n",
+			t.Invocation, t.Scheduler, t.Tasks, t.Procs, t.Cost,
+			time.Duration(float64(t.Wall)*float64(time.Second)).Round(time.Microsecond))
+		if t.Generations > 0 || t.Evaluations > 0 {
+			fmt.Printf("  GA: %d generations, %d evaluations (%d genes, %d rebalance), stopped: %s\n",
+				t.Generations, t.Evaluations, t.Genes, t.RebalanceEvals, t.Reason)
+			fmt.Printf("  budget: %v granted, %v spent", t.Budget, t.Spent)
+			if t.Migrations > 0 {
+				fmt.Printf(", %d migration rounds", t.Migrations)
+			}
+			fmt.Println()
+		}
+		if len(t.Curve) > 0 {
+			fmt.Printf("  generation-best curve (%d improvements):\n", len(t.Curve))
+			for _, p := range t.Curve {
+				fmt.Printf("    gen %4d  makespan %v\n", p.Generation, p.Makespan)
+			}
+		}
+	}
 }
 
 // statsMain requests one stats snapshot from a running server and

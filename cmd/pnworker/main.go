@@ -14,7 +14,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 
@@ -42,13 +42,13 @@ func main() {
 			fatal(err)
 		}
 		r = measured
-		log.Printf("pnworker %s: Linpack(n=%d) rating %v", *name, *linpackN, r)
+		slog.Info("self-rated with Linpack", "worker", *name, "n", *linpackN, "rate", float64(r))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	log.Printf("pnworker %s: connecting to %s at %v", *name, *connect, r)
+	slog.Info("connecting", "worker", *name, "server", *connect, "rate", float64(r))
 	err := pnsched.RunWorker(ctx, *connect, pnsched.WorkerConfig{
 		Name:      *name,
 		Rate:      r,
@@ -57,7 +57,7 @@ func main() {
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fatal(err)
 	}
-	log.Printf("pnworker %s: done", *name)
+	slog.Info("worker done", "worker", *name)
 }
 
 func fatal(err error) {

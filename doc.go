@@ -57,6 +57,20 @@
 // point-in-time ServerSnapshot — queue depths, per-worker counts,
 // dispatch-latency quantiles — from any live server.
 //
+// Every served run is instrumented: task counters, queue-depth gauges,
+// dispatch-latency histograms, per-watcher drop accounting, and the
+// GA's own work ledger (generations, evaluations, genes scanned,
+// budget granted vs. spent) accumulate in a zero-dependency registry
+// (internal/telemetry). WithAdminAddr exposes them over HTTP in
+// Prometheus text exposition format at /metrics, next to /healthz and
+// /debug/pprof/ — the ExampleServe_adminEndpoint example scrapes a
+// live run; `pnserver -admin :9090` is the CLI form. The server also
+// retains a bounded ring of per-batch decision traces (DecisionTrace):
+// each batch's generation-best makespan curve, §3.4 budget ledger and
+// wall time, readable in-process via Server.Traces or over the wire
+// via FetchTraces (pnserver -trace). Serving logs are structured
+// log/slog records; WithServeLog supplies the logger.
+//
 // Underneath sit the internal packages: the GA engine with incremental
 // fitness evaluation (internal/ga, internal/core), the parallel island
 // model (internal/island), the discrete-event simulator

@@ -3,7 +3,10 @@ package pnsched_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -66,6 +69,54 @@ func ExampleServe() {
 	st := srv.Stats()
 	fmt.Printf("completed %d/%d tasks\n", st.Completed, st.Submitted)
 	// Output: completed 20/20 tasks
+}
+
+// ExampleServe_adminEndpoint enables the HTTP admin endpoint alongside
+// the scheduling port: /metrics serves the runtime telemetry in
+// Prometheus text exposition format, /healthz answers liveness probes,
+// and /debug/pprof/ profiles the live process — what `pnserver -admin`
+// exposes, in library form.
+func ExampleServe_adminEndpoint() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	srv, err := pnsched.Serve(ctx, pnsched.MustSpec("PN",
+		pnsched.WithGenerations(40),
+		pnsched.WithBatch(40),
+		pnsched.WithSeed(1)),
+		pnsched.WithAdminAddr("127.0.0.1:0"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	go pnsched.RunWorker(ctx, srv.Addr().String(), pnsched.WorkerConfig{
+		Name: "w1", Rate: 100, TimeScale: 2e-4,
+	})
+	srv.Submit(pnsched.GenerateTasks(20, pnsched.Uniform{Lo: 10, Hi: 1000}, pnsched.NewRNG(7)))
+	if err := srv.Wait(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// Scrape the completed run the way Prometheus would.
+	resp, err := http.Get("http://" + srv.AdminAddr().String() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "pnsched_tasks_completed_total") ||
+			strings.HasPrefix(line, "pnsched_ga_runs_total") {
+			fmt.Println(line)
+		}
+	}
+	// Output:
+	// pnsched_ga_runs_total 1
+	// pnsched_tasks_completed_total 20
 }
 
 // ExampleWatch subscribes to a live server's event stream from a

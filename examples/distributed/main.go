@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
+	"os"
 	"sync"
 	"time"
 
@@ -30,7 +32,8 @@ func main() {
 		pnsched.WithGenerations(300),
 		pnsched.WithDynamicBatch(true),
 		pnsched.WithSeed(1))
-	srv, err := pnsched.Serve(ctx, spec, pnsched.WithServeLog(log.Printf))
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv, err := pnsched.Serve(ctx, spec, pnsched.WithServeLog(logger))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,11 +45,11 @@ func main() {
 	// sees, streamed over the wire as versioned frames.
 	watcher, err := pnsched.Watch(ctx, addr, pnsched.ObserverFuncs{
 		BatchDecided: func(e pnsched.BatchDecision) {
-			log.Printf("watch: batch %d → %d tasks over %d workers (cost %v)",
-				e.Invocation, e.Tasks, e.Procs, e.Cost)
+			logger.Info("watch: batch decided", "invocation", e.Invocation,
+				"tasks", e.Tasks, "workers", e.Procs, "cost", float64(e.Cost))
 		},
 		BudgetStop: func(e pnsched.BudgetStopEvent) {
-			log.Printf("watch: GA budget stop at generation %d", e.Generation)
+			logger.Info("watch: GA budget stop", "generation", e.Generation)
 		},
 	})
 	if err != nil {
@@ -71,7 +74,7 @@ func main() {
 				},
 			})
 			if err != nil && !errors.Is(err, context.Canceled) {
-				log.Printf("worker %d: %v", i, err)
+				logger.Warn("worker failed", "worker", i, "err", err)
 			}
 		}(i, rate)
 	}

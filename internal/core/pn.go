@@ -345,6 +345,18 @@ func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Second
 			Spent:      modelled,
 		})
 	}
+	if cfg.Observer != nil {
+		cfg.Observer.OnEvolveDone(observe.EvolveDone{
+			Generations:    res.Generations,
+			Evaluations:    res.Evaluations + rb.Evals,
+			Genes:          genes(),
+			RebalanceEvals: rb.Evals,
+			Budget:         finiteOrZero(budget),
+			Spent:          modelled,
+			BestMakespan:   finiteOrZero(bestMakespan),
+			Reason:         res.Reason.String(),
+		})
+	}
 	return EvolveStats{
 		Result:         res,
 		BestMakespan:   bestMakespan,
@@ -352,6 +364,16 @@ func Evolve(p *Problem, cfg Config, initial []ga.Chromosome, budget units.Second
 		GenesEvaluated: genes(),
 		ModelledCost:   modelled,
 	}
+}
+
+// finiteOrZero maps the +Inf sentinel (unlimited budget, no makespan
+// seen yet) to zero so the
+// EvolveDone ledger stays JSON-encodable end to end.
+func finiteOrZero(b units.Seconds) units.Seconds {
+	if b.IsInf() {
+		return 0
+	}
+	return b
 }
 
 // postGeneration builds the §3.5 rebalancing hook in the requested

@@ -176,7 +176,7 @@ func EvolveIsland(ctx context.Context, p *Problem, cfg Config, icfg IslandConfig
 			maxGenes = ir.GenesEvaluated
 		}
 	}
-	return EvolveStats{
+	st := EvolveStats{
 		Result: ga.Result{
 			Best:           res.Best,
 			BestFitness:    res.BestFitness,
@@ -192,6 +192,25 @@ func EvolveIsland(ctx context.Context, p *Problem, cfg Config, icfg IslandConfig
 		// the charged compute time follows the busiest island's genes.
 		ModelledCost: units.Seconds(float64(cfg.CostPerGene) * float64(maxGenes)),
 	}
+	if cfg.Observer != nil {
+		rbEvals := 0
+		for _, rb := range rebalancers {
+			if rb != nil {
+				rbEvals += rb.Evals
+			}
+		}
+		cfg.Observer.OnEvolveDone(observe.EvolveDone{
+			Generations:    st.Result.Generations,
+			Evaluations:    st.Evals,
+			Genes:          st.GenesEvaluated,
+			RebalanceEvals: rbEvals,
+			Budget:         finiteOrZero(budget),
+			Spent:          st.ModelledCost,
+			BestMakespan:   finiteOrZero(st.BestMakespan),
+			Reason:         st.Result.Reason.String(),
+		})
+	}
+	return st
 }
 
 // PNIsland is the island-model variant of the PN scheduler: a drop-in

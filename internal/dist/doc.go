@@ -36,8 +36,8 @@
 // The protocol is newline-delimited JSON over a single TCP connection
 // per client ("JSON lines"): one object per line, bounded at 1 MiB per
 // frame. A connection's first frame decides its role: a hello makes it
-// a worker, a watch makes it an event subscriber, a stats frame makes
-// it a one-shot snapshot request. docs/wire-protocol.md is the
+// a worker, a watch makes it an event subscriber, a stats or trace
+// frame makes it a one-shot snapshot request. docs/wire-protocol.md is the
 // authoritative spec — grammar, versioning, delivery and replay
 // semantics, each frame kind pinned by a committed golden file; this
 // section is the summary.
@@ -78,12 +78,15 @@
 // then the server streams versioned event frames, one per event, in
 // publication order, identical for every subscriber:
 //
-//	{"type":"event","v":{"major":1,"minor":1},"seq":17,"kind":"dispatch","dispatch":{"proc":3,"task":77,"at":12.5}}
+//	{"type":"event","v":{"major":1,"minor":2},"seq":17,"kind":"dispatch","dispatch":{"proc":3,"task":77,"at":12.5}}
 //
 // Kinds are batch_decided, generation_best, migration, dispatch and
 // budget_stop, plus — since protocol 1.1 — the worker lifecycle kinds
-// worker_joined and worker_left, each carrying its payload under a
-// kind-specific field. seq is the shared publication counter; a frame
+// worker_joined and worker_left, and — since 1.2 — evolve_done, the
+// GA work ledger emitted once per evolution (generations, evaluations,
+// budget granted and spent, stop reason); batch_decided also gained a
+// wall field, the real seconds the decision took. Each kind carries
+// its payload under a kind-specific field. seq is the shared publication counter; a frame
 // with a newer minor version decodes fine (unknown fields and kinds
 // ignored — golden tests pin this), a different major is rejected at
 // the handshake.
@@ -99,7 +102,7 @@
 // as dropped — so short-lived observers see how the run got where it
 // is.
 //
-// # Stats snapshots
+// # Stats snapshots and decision traces
 //
 // A connection whose first frame is {"type":"stats"} (protocol 1.1)
 // receives one reply — the server's Snapshot flattened to JSON: queue
@@ -107,6 +110,12 @@
 // per-watcher queue/drop counters, and dispatch-latency quantiles —
 // and is then closed. FetchStats is the client side; pnserver -stats
 // and the periodic line in pnserver -watch are its CLI surface.
+//
+// Its sibling {"type":"trace"} (protocol 1.2) returns the server's
+// retained ring of per-batch decision traces — which tasks went where,
+// the GA work ledger, and the generation-best makespan curve for each
+// scheduling decision. FetchTraces is the client side; pnserver -trace
+// prints the curves.
 //
 // # Time scaling
 //

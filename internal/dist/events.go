@@ -45,6 +45,11 @@ const DefaultEventReplay = 64
 type Broadcaster struct {
 	queue int
 
+	// Cumulative fan-out counters, surviving unsubscribes (unlike the
+	// per-watcher figures of Watchers) — the broadcaster's telemetry.
+	published atomic.Uint64
+	dropTotal atomic.Uint64
+
 	mu     sync.Mutex
 	seq    uint64
 	subs   map[*eventSub]struct{}
@@ -171,6 +176,7 @@ func (b *Broadcaster) publish(f eventFrame) {
 	}
 	b.seq++
 	f.Seq = b.seq
+	b.published.Add(1)
 	if b.ring != nil {
 		b.ring[b.ringW] = f
 		b.ringW = (b.ringW + 1) % len(b.ring)
@@ -183,9 +189,19 @@ func (b *Broadcaster) publish(f eventFrame) {
 		case s.out <- f:
 		default:
 			s.dropped.Add(1)
+			b.dropTotal.Add(1)
 		}
 	}
 }
+
+// Published reports the total frames published over the broadcaster's
+// lifetime.
+func (b *Broadcaster) Published() uint64 { return b.published.Load() }
+
+// DroppedTotal reports the cumulative frames dropped across all
+// subscribers, past and present — unlike Watchers, it does not reset
+// when a slow watcher disconnects.
+func (b *Broadcaster) DroppedTotal() uint64 { return b.dropTotal.Load() }
 
 // Watchers reports each attached subscriber's current queue depth and
 // cumulative drop count — the per-watcher slice of a stats Snapshot.
@@ -208,6 +224,7 @@ func (b *Broadcaster) OnBatchDecided(e observe.BatchDecision) {
 		Procs:      e.Procs,
 		Cost:       float64(e.Cost),
 		At:         float64(e.At),
+		Wall:       float64(e.Wall),
 	}})
 }
 
@@ -242,6 +259,20 @@ func (b *Broadcaster) OnBudgetStop(e observe.BudgetStop) {
 		Generation: e.Generation,
 		Budget:     float64(e.Budget),
 		Spent:      float64(e.Spent),
+	}})
+}
+
+// OnEvolveDone implements observe.Observer (protocol 1.2).
+func (b *Broadcaster) OnEvolveDone(e observe.EvolveDone) {
+	b.publish(eventFrame{Kind: kindEvolveDone, Evolve: &wireEvolveDone{
+		Generations:    e.Generations,
+		Evaluations:    e.Evaluations,
+		Genes:          e.Genes,
+		RebalanceEvals: e.RebalanceEvals,
+		Budget:         float64(e.Budget),
+		Spent:          float64(e.Spent),
+		BestMakespan:   float64(e.BestMakespan),
+		Reason:         e.Reason,
 	}})
 }
 

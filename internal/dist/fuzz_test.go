@@ -34,7 +34,12 @@ func FuzzWireMessage(f *testing.F) {
 		`{"type":"event","v":{"major":1,"minor":1},"seq":6,"kind":"worker_joined","joined":{"name":"node7","rate":87.5,"workers":3,"at":21.5}}`,
 		`{"type":"event","v":{"major":1,"minor":1},"seq":7,"kind":"worker_left","left":{"name":"node7","reissued":5,"workers":2,"at":44.25}}`,
 		`{"type":"event","v":{"major":1,"minor":1},"seq":8,"kind":"worker_joined"}`,
+		`{"type":"event","v":{"major":1,"minor":2},"seq":9,"kind":"evolve_done","evolve":{"generations":312,"evaluations":6240,"genes":48000,"rebalance_evals":40,"budget":1.5,"spent":1.4375,"best_makespan":96.875,"reason":"budget"}}`,
+		`{"type":"event","v":{"major":1,"minor":2},"seq":10,"kind":"evolve_done"}`,
 		`{"type":"stats"}`,
+		`{"type":"trace"}`,
+		`{"type":"trace","proto":{"major":1,"minor":2},"traces":[{"invocation":3,"scheduler":"PN","tasks":200,"procs":50,"cost":0.125,"at":17.5,"wall":0.0625,"generations":312,"evaluations":6240,"genes":48000,"budget":1.5,"spent":1.4375,"best_makespan":96.875,"reason":"budget","curve":[{"generation":0,"makespan":140.5},{"generation":288,"makespan":96.875}]}]}`,
+		`{"type":"trace","traces":[{"invocation":1}]}`,
 		`{"type":"stats","proto":{"major":1,"minor":1},"stats":{"uptime":12.5,"submitted":10,"completed":4,"reissued":0,"pending":5,"running":1,"batches":2,"workers":[{"name":"w","rate":50,"running":1,"completed":4}],"latency":{"samples":4,"p50":0.1,"p90":0.2,"p99":0.3}}}`,
 		`{"type":"stats","stats":{"uptime":1}}`,
 		`{"type":"event","v":{"major":1,"minor":9},"seq":3,"kind":"from_the_future"}`,

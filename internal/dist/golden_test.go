@@ -22,7 +22,7 @@ func canonicalFrames() map[string]eventFrame {
 	v := wireVersion{Major: ProtoMajor, Minor: ProtoMinor}
 	return map[string]eventFrame{
 		"event_batch_decided": {Type: msgEvent, V: v, Seq: 1, Kind: kindBatchDecided,
-			Batch: &wireBatchDecision{Invocation: 3, Scheduler: "PN", Tasks: 200, Procs: 50, Cost: 0.125, At: 17.5}},
+			Batch: &wireBatchDecision{Invocation: 3, Scheduler: "PN", Tasks: 200, Procs: 50, Cost: 0.125, At: 17.5, Wall: 0.0625}},
 		"event_generation_best": {Type: msgEvent, V: v, Seq: 2, Kind: kindGenerationBest,
 			Generation: &wireGenerationBest{Generation: 41, Makespan: 96.875}},
 		"event_migration": {Type: msgEvent, V: v, Seq: 3, Kind: kindMigration,
@@ -31,6 +31,9 @@ func canonicalFrames() map[string]eventFrame {
 			Dispatch: &wireDispatch{Proc: 12, Task: 0, At: 18.25}},
 		"event_budget_stop": {Type: msgEvent, V: v, Seq: 5, Kind: kindBudgetStop,
 			Budget: &wireBudgetStop{Generation: 77, Budget: 1.5, Spent: 1.4375}},
+		"event_evolve_done": {Type: msgEvent, V: v, Seq: 8, Kind: kindEvolveDone,
+			Evolve: &wireEvolveDone{Generations: 312, Evaluations: 6240, Genes: 48000,
+				RebalanceEvals: 40, Budget: 1.5, Spent: 1.4375, BestMakespan: 96.875, Reason: "budget"}},
 		"event_worker_joined": {Type: msgEvent, V: v, Seq: 6, Kind: kindWorkerJoined,
 			Joined: &wireWorkerJoined{Name: "node7-4412", Rate: 87.5, Workers: 3, At: 21.5}},
 		"event_worker_left": {Type: msgEvent, V: v, Seq: 7, Kind: kindWorkerLeft,
@@ -90,6 +93,58 @@ func TestGoldenStatsReply(t *testing.T) {
 	snap := m.Stats.toSnapshot()
 	if snap.Completed != 640 || len(snap.Workers) != 2 || snap.Latency.Samples != 512 {
 		t.Errorf("snapshot round trip lost data: %+v", snap)
+	}
+}
+
+// TestGoldenTraceReply freezes the wire encoding of the trace reply —
+// the 1.2 request/response message carrying the retained per-batch
+// decision traces.
+func TestGoldenTraceReply(t *testing.T) {
+	reply := message{
+		Type:  msgTrace,
+		Proto: &wireVersion{Major: ProtoMajor, Minor: ProtoMinor},
+		Traces: tracesToWire([]Trace{{
+			Invocation: 3, Scheduler: "PN", Tasks: 200, Procs: 50,
+			Cost: 0.125, At: 17.5, Wall: 0.0625,
+			Generations: 312, Evaluations: 6240, Genes: 48000,
+			RebalanceEvals: 40, Budget: 1.5, Spent: 1.4375,
+			BestMakespan: 96.875, Reason: "budget", Migrations: 2,
+			Curve: []TracePoint{
+				{Generation: 0, Makespan: 140.5},
+				{Generation: 12, Makespan: 112.25},
+				{Generation: 288, Makespan: 96.875},
+			},
+		}}),
+	}
+	path := filepath.Join("testdata", "golden", "trace_reply.json")
+	encoded, err := json.Marshal(&reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded = append(encoded, '\n')
+	if *updateGolden {
+		if err := os.WriteFile(path, encoded, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(encoded, golden) {
+		t.Errorf("encoding changed:\n got %s\nwant %s", encoded, golden)
+	}
+
+	m, ev, err := decodeWireMessage(bytes.TrimSuffix(golden, []byte("\n")))
+	if err != nil || ev != nil || m == nil {
+		t.Fatalf("decodeWireMessage(golden) = (%v, %v, %v), want a trace message", m, ev, err)
+	}
+	if len(m.Traces) != 1 {
+		t.Fatalf("trace reply decoded with %d traces, want 1", len(m.Traces))
+	}
+	tr := m.Traces[0].toTrace()
+	if tr.Generations != 312 || len(tr.Curve) != 3 || tr.Curve[2].Makespan != 96.875 {
+		t.Errorf("trace round trip lost data: %+v", tr)
 	}
 }
 

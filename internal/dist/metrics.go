@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"strconv"
+
+	"pnsched/internal/observe"
+	"pnsched/internal/telemetry"
+)
+
+// serverMetrics holds the server's telemetry instruments. The zero
+// value (telemetry disabled) is fully usable: every instrument field
+// is nil and the telemetry instruments are nil-safe no-ops, so the hot
+// paths carry no conditionals.
+type serverMetrics struct {
+	submitted    *telemetry.Counter
+	completed    *telemetry.Counter
+	reissued     *telemetry.Counter
+	dispatched   *telemetry.Counter
+	batches      *telemetry.Counter
+	decodeErrors *telemetry.Counter
+
+	dispatchLatency *telemetry.Histogram
+	batchWall       *telemetry.Histogram
+}
+
+// newServerMetrics registers the server's counters and histograms and
+// its scrape-time collectors (queue depths, the worker pool, watcher
+// queues, broadcaster fan-out totals) on reg.
+func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		submitted: reg.Counter("pnsched_tasks_submitted_total",
+			"Tasks handed to Submit over the server lifetime."),
+		completed: reg.Counter("pnsched_tasks_completed_total",
+			"Tasks acknowledged done by workers."),
+		reissued: reg.Counter("pnsched_tasks_reissued_total",
+			"Tasks pulled back from departed workers and requeued."),
+		dispatched: reg.Counter("pnsched_tasks_dispatched_total",
+			"Tasks sent to workers (reissues dispatch again)."),
+		batches: reg.Counter("pnsched_batches_total",
+			"Committed batch-scheduling decisions."),
+		decodeErrors: reg.Counter("pnsched_protocol_decode_errors_total",
+			"Malformed or invalid wire frames received."),
+		dispatchLatency: reg.Histogram("pnsched_dispatch_latency_seconds",
+			"Dispatch-to-done wall-clock round trip per task.",
+			telemetry.ExpBuckets(0.001, 4, 10)),
+		batchWall: reg.Histogram("pnsched_batch_wall_seconds",
+			"Wall-clock time one ScheduleBatch call took.",
+			telemetry.ExpBuckets(0.0001, 4, 10)),
+	}
+
+	reg.GaugeFunc("pnsched_pending_tasks",
+		"Tasks awaiting a batch decision.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.queue.Len())
+		})
+	reg.GaugeFunc("pnsched_running_tasks",
+		"Tasks dispatched but not yet reported done.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, w := range s.workers {
+				n += len(w.outstanding)
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("pnsched_workers",
+		"Currently connected workers.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.workers))
+		})
+	reg.SampleFunc("pnsched_worker_believed_rate_mflops",
+		"Smoothed observed execution rate per worker (§3.6).", true,
+		func() []telemetry.Sample {
+			var out []telemetry.Sample
+			for _, w := range s.Workers() {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{telemetry.L("worker", w.Name)},
+					Value:  float64(w.Believed),
+				})
+			}
+			return out
+		})
+	reg.SampleFunc("pnsched_worker_tasks_completed",
+		"Tasks finished per connected worker.", false,
+		func() []telemetry.Sample {
+			var out []telemetry.Sample
+			for _, w := range s.Workers() {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{telemetry.L("worker", w.Name)},
+					Value:  float64(w.Completed),
+				})
+			}
+			return out
+		})
+
+	if b := s.cfg.Events; b != nil {
+		reg.SampleFunc("pnsched_events_published_total",
+			"Event frames published to the broadcaster.", false,
+			func() []telemetry.Sample {
+				return []telemetry.Sample{{Value: float64(b.Published())}}
+			})
+		reg.SampleFunc("pnsched_events_dropped_total",
+			"Event frames dropped across all watchers, past and present.", false,
+			func() []telemetry.Sample {
+				return []telemetry.Sample{{Value: float64(b.DroppedTotal())}}
+			})
+		reg.SampleFunc("pnsched_watcher_queue_depth",
+			"Send-queue depth per attached watcher.", true,
+			func() []telemetry.Sample {
+				var out []telemetry.Sample
+				for i, w := range b.Watchers() {
+					out = append(out, telemetry.Sample{
+						Labels: []telemetry.Label{telemetry.L("watcher", strconv.Itoa(i))},
+						Value:  float64(w.Queued),
+					})
+				}
+				return out
+			})
+		reg.SampleFunc("pnsched_watcher_dropped_total",
+			"Frames dropped per attached watcher.", false,
+			func() []telemetry.Sample {
+				var out []telemetry.Sample
+				for i, w := range b.Watchers() {
+					out = append(out, telemetry.Sample{
+						Labels: []telemetry.Label{telemetry.L("watcher", strconv.Itoa(i))},
+						Value:  float64(w.Dropped),
+					})
+				}
+				return out
+			})
+	}
+	return m
+}
+
+// NewMetricsObserver returns an observe.Observer that feeds the GA-side
+// telemetry counters from the event stream: generations, full
+// evaluations vs. genes actually scanned (the incremental engine's
+// saving is the gap between them), §3.5 rebalancer work, the §3.4
+// budget ledger, and island migration rounds. Wire it into the same
+// observer chain as everything else; it never blocks.
+func NewMetricsObserver(reg *telemetry.Registry) observe.Observer {
+	runs := reg.Counter("pnsched_ga_runs_total",
+		"GA evolution runs completed (one per GA batch decision).")
+	generations := reg.Counter("pnsched_ga_generations_total",
+		"GA generations evolved across all runs.")
+	evaluations := reg.Counter("pnsched_ga_evaluations_total",
+		"Fitness evaluations performed (full and incremental).")
+	genes := reg.Counter("pnsched_ga_genes_evaluated_total",
+		"Chromosome positions scanned by fitness evaluation.")
+	rebalance := reg.Counter("pnsched_ga_rebalance_evaluations_total",
+		"Evaluations spent by the §3.5 rebalancing heuristic.")
+	budget := reg.Counter("pnsched_ga_budget_seconds_total",
+		"Sum of §3.4 time-to-first-idle budgets granted to GA runs.")
+	spent := reg.Counter("pnsched_ga_spent_seconds_total",
+		"Sum of modelled evaluation cost billed by GA runs.")
+	budgetStops := reg.Counter("pnsched_ga_budget_stops_total",
+		"GA runs stopped by the §3.4 budget before their generation cap.")
+	migrations := reg.Counter("pnsched_ga_migrations_total",
+		"Island-model ring migration rounds.")
+	migrants := reg.Counter("pnsched_ga_migrants_total",
+		"Individuals exchanged by island-model migrations.")
+	return observe.Funcs{
+		EvolveDone: func(e observe.EvolveDone) {
+			runs.Inc()
+			generations.Add(float64(e.Generations))
+			evaluations.Add(float64(e.Evaluations))
+			genes.Add(float64(e.Genes))
+			rebalance.Add(float64(e.RebalanceEvals))
+			budget.Add(float64(e.Budget))
+			spent.Add(float64(e.Spent))
+		},
+		BudgetStop: func(observe.BudgetStop) { budgetStops.Inc() },
+		Migration: func(e observe.Migration) {
+			migrations.Inc()
+			migrants.Add(float64(e.Migrants))
+		},
+	}
+}

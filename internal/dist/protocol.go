@@ -23,6 +23,7 @@ const (
 	msgWelcome = "welcome" // server → watch client: subscription accepted
 	msgEvent   = "event"   // server → watch client: one observer event
 	msgStats   = "stats"   // stats client ↔ server: snapshot request/reply (1.1)
+	msgTrace   = "trace"   // trace client ↔ server: decision-trace request/reply (1.2)
 )
 
 // Event-stream protocol version, carried on the watch handshake and on
@@ -39,9 +40,14 @@ const (
 //	      stats request/reply message, and catch-up replay of recent
 //	      frames to late subscribers. 1.0 clients skip the new kinds
 //	      and cannot request stats; nothing they understood changed.
+//	1.2 — the evolve_done event kind (per-run GA evaluation ledger),
+//	      the wall field on batch_decided, and the trace request/reply
+//	      message returning the server's ring of per-batch decision
+//	      traces. 1.0/1.1 clients skip the new kind and field and
+//	      cannot request traces; nothing they understood changed.
 const (
 	ProtoMajor = 1
-	ProtoMinor = 1
+	ProtoMinor = 2
 )
 
 // maxFrame bounds one JSON-lines frame. Frames beyond it are a protocol
@@ -78,11 +84,14 @@ type message struct {
 	// TimeScale. Zero (absent) skips the observation.
 	Real float64 `json:"real,omitempty"`
 
-	// watch / welcome / stats reply
+	// watch / welcome / stats reply / trace reply
 	Proto *wireVersion `json:"proto,omitempty"`
 
 	// stats reply (absent on the request)
 	Stats *wireStats `json:"stats,omitempty"`
+
+	// trace reply (absent on the request); oldest decision first
+	Traces []wireTrace `json:"traces,omitempty"`
 }
 
 // wireVersion is the event-stream protocol version of a peer.
@@ -113,6 +122,7 @@ const (
 	kindBudgetStop     = "budget_stop"
 	kindWorkerJoined   = "worker_joined" // 1.1
 	kindWorkerLeft     = "worker_left"   // 1.1
+	kindEvolveDone     = "evolve_done"   // 1.2
 )
 
 // eventFrame is the versioned server→client wire form of one Observer
@@ -141,6 +151,7 @@ type eventFrame struct {
 	Budget     *wireBudgetStop     `json:"budget,omitempty"`
 	Joined     *wireWorkerJoined   `json:"joined,omitempty"`
 	Left       *wireWorkerLeft     `json:"left,omitempty"`
+	Evolve     *wireEvolveDone     `json:"evolve,omitempty"`
 }
 
 // The event payloads mirror internal/observe's types field for field,
@@ -154,6 +165,9 @@ type wireBatchDecision struct {
 	Procs      int     `json:"procs"`
 	Cost       float64 `json:"cost"`
 	At         float64 `json:"at"`
+	// Wall is real wall-clock decision time in seconds (1.2; absent
+	// from older peers and from simulator-driven decisions).
+	Wall float64 `json:"wall,omitempty"`
 }
 
 type wireGenerationBest struct {
@@ -192,6 +206,20 @@ type wireWorkerLeft struct {
 	At       float64 `json:"at"`
 }
 
+// wireEvolveDone is the per-run GA evaluation ledger (protocol 1.2):
+// what one batch decision's evolution actually spent, summarised once
+// at the end of the run.
+type wireEvolveDone struct {
+	Generations    int     `json:"generations"`
+	Evaluations    int     `json:"evaluations"`
+	Genes          int     `json:"genes"`
+	RebalanceEvals int     `json:"rebalance_evals,omitempty"`
+	Budget         float64 `json:"budget,omitempty"` // 0 = unlimited
+	Spent          float64 `json:"spent"`
+	BestMakespan   float64 `json:"best_makespan"`
+	Reason         string  `json:"reason"`
+}
+
 // validate checks an event frame's internal consistency: version
 // compatibility and that the payload matching Kind is present. An
 // unknown kind is an error at this side's minor version — the peer is
@@ -218,6 +246,8 @@ func (f *eventFrame) validate() error {
 		missing = f.Joined == nil
 	case kindWorkerLeft:
 		missing = f.Left == nil
+	case kindEvolveDone:
+		missing = f.Evolve == nil
 	case "":
 		return errors.New("dist: event frame without kind")
 	default:
@@ -287,6 +317,17 @@ func (f *eventFrame) deliver(o observe.Observer) {
 			Workers:  f.Left.Workers,
 			At:       units.Seconds(f.Left.At),
 		})
+	case kindEvolveDone:
+		o.OnEvolveDone(observe.EvolveDone{
+			Generations:    f.Evolve.Generations,
+			Evaluations:    f.Evolve.Evaluations,
+			Genes:          f.Evolve.Genes,
+			RebalanceEvals: f.Evolve.RebalanceEvals,
+			Budget:         units.Seconds(f.Evolve.Budget),
+			Spent:          units.Seconds(f.Evolve.Spent),
+			BestMakespan:   units.Seconds(f.Evolve.BestMakespan),
+			Reason:         f.Evolve.Reason,
+		})
 	}
 }
 
@@ -319,7 +360,7 @@ func decodeWireMessage(line []byte) (msg *message, ev *eventFrame, err error) {
 			return nil, nil, err
 		}
 		return nil, &f, nil
-	case msgHello, msgAssign, msgDone, msgWatch, msgWelcome, msgStats:
+	case msgHello, msgAssign, msgDone, msgWatch, msgWelcome, msgStats, msgTrace:
 		var m message
 		if err := json.Unmarshal(line, &m); err != nil {
 			return nil, nil, fmt.Errorf("dist: malformed %s frame: %w", probe.Type, err)
@@ -372,6 +413,15 @@ func (m *message) validate() error {
 		}
 		if m.Stats != nil {
 			return errors.New("dist: stats reply without protocol version")
+		}
+	case msgTrace:
+		// Same request/reply shape as stats: bare request, versioned
+		// reply (1.2).
+		if m.Proto != nil {
+			return m.Proto.compatible()
+		}
+		if m.Traces != nil {
+			return errors.New("dist: trace reply without protocol version")
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"pnsched/internal/smoothing"
 	"pnsched/internal/stats"
 	"pnsched/internal/task"
+	"pnsched/internal/telemetry"
 	"pnsched/internal/units"
 )
 
@@ -39,9 +41,10 @@ type ServerConfig struct {
 	// PN scheduler does), it chooses its own batch sizes per §3.7;
 	// otherwise sched.DefaultBatchSize is used.
 	Scheduler sched.Batch
-	// Logf receives progress logging (worker joins/leaves, batch
-	// dispatches, reissues). Nil disables logging.
-	Logf func(format string, args ...any)
+	// Log receives structured progress logging (worker joins/leaves,
+	// batch dispatches, reissues, protocol rejections) as levelled
+	// key-value records. Nil disables logging.
+	Log *slog.Logger
 	// Observer, when non-nil, receives the typed public-API events the
 	// live runtime emits: OnBatchDecided after every committed batch
 	// decision and OnDispatch for every task sent to a worker (with
@@ -68,6 +71,18 @@ type ServerConfig struct {
 	// placement instead of being decided once up front. 0 selects
 	// DefaultBacklog.
 	Backlog int
+	// Metrics, when non-nil, instruments the server on the given
+	// telemetry registry: task counters, queue-depth gauges, the
+	// dispatch-latency and batch-wall histograms, per-worker and
+	// per-watcher collectors, and protocol decode errors. The registry
+	// is typically also serving /metrics via telemetry.AdminMux.
+	Metrics *telemetry.Registry
+	// Traces, when non-nil, is the recorder answering the trace wire
+	// request (protocol 1.2) with recent per-batch decision traces.
+	// The caller is responsible for wiring the same recorder into the
+	// observer chain the scheduler and server emit into; the server
+	// only reads it.
+	Traces *TraceRecorder
 }
 
 // Server is the dedicated scheduling processor of the paper's §3,
@@ -77,6 +92,10 @@ type Server struct {
 	cfg     ServerConfig
 	nu      float64
 	backlog int
+	log     *slog.Logger
+	// met is never nil; with telemetry disabled it is the zero
+	// serverMetrics whose nil instruments no-op.
+	met *serverMetrics
 	// observer is the effective event sink: cfg.Observer fanned
 	// together with cfg.Events, so every server-emitted event reaches
 	// both the in-process observer and the wire subscribers.
@@ -165,10 +184,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if backlog == 0 {
 		backlog = DefaultBacklog
 	}
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:     cfg,
 		nu:      nu,
 		backlog: backlog,
+		log:     log,
 		queue:   task.NewQueue(64),
 		start:   time.Now(),
 	}
@@ -176,15 +200,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Events != nil {
 		s.observer = observe.Multi(cfg.Observer, cfg.Events)
 	}
+	if cfg.Metrics != nil {
+		s.met = newServerMetrics(cfg.Metrics, s)
+	} else {
+		s.met = &serverMetrics{}
+	}
 	s.cond = sync.NewCond(&s.mu)
 	go s.scheduleLoop()
 	return s, nil
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
 }
 
 // ListenAndServe listens on the given TCP address and serves worker
@@ -251,6 +274,7 @@ func (s *Server) Submit(ts []task.Task) {
 		return
 	}
 	s.submitted += len(ts)
+	s.met.submitted.Add(float64(len(ts)))
 	s.queue.PushAll(ts)
 	s.cond.Broadcast()
 }
@@ -423,7 +447,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	if err != nil {
 		if !isClosedErr(err) {
-			s.logf("dist: rejecting connection from %v: %v", conn.RemoteAddr(), err)
+			s.met.decodeErrors.Inc()
+			s.log.Warn("connection rejected", "remote", conn.RemoteAddr(), "err", err)
 		}
 		conn.Close()
 		return
@@ -437,9 +462,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.serveWatch(conn, br)
 	case msgStats:
 		s.serveStats(conn)
+	case msgTrace:
+		s.serveTrace(conn)
 	default:
-		s.logf("dist: rejecting connection from %v: first frame %q is not a handshake",
-			conn.RemoteAddr(), m.Type)
+		s.met.decodeErrors.Inc()
+		s.log.Warn("connection rejected: first frame is not a handshake",
+			"remote", conn.RemoteAddr(), "type", m.Type)
 		conn.Close()
 	}
 }
@@ -468,7 +496,8 @@ func (s *Server) serveWorker(conn net.Conn, br *bufio.Reader, name string, claim
 	pool := len(s.workers)
 	s.cond.Broadcast() // queued work may now be schedulable
 	s.mu.Unlock()
-	s.logf("dist: worker %s joined at %v (%v)", name, conn.RemoteAddr(), claimed)
+	s.log.Info("worker joined", "worker", name, "remote", conn.RemoteAddr(),
+		"rate", float64(claimed), "workers", pool)
 	if s.observer != nil {
 		s.observer.OnWorkerJoined(observe.WorkerJoined{
 			Name:    name,
@@ -488,13 +517,14 @@ func (s *Server) serveWorker(conn net.Conn, br *bufio.Reader, name string, claim
 		line, err := readFrame(br)
 		if err != nil {
 			if !isClosedErr(err) {
-				s.logf("dist: worker %s read error: %v", name, err)
+				s.log.Warn("worker read error", "worker", name, "err", err)
 			}
 			break
 		}
 		m, _, err := decodeWireMessage(line)
 		if err != nil {
-			s.logf("dist: worker %s sent bad frame: %v", name, err)
+			s.met.decodeErrors.Inc()
+			s.log.Warn("worker sent bad frame", "worker", name, "err", err)
 			break
 		}
 		if m != nil && m.Type == msgDone {
@@ -513,7 +543,7 @@ func (s *Server) serveWorker(conn net.Conn, br *bufio.Reader, name string, claim
 func (s *Server) serveWatch(conn net.Conn, br *bufio.Reader) {
 	b := s.cfg.Events
 	if b == nil {
-		s.logf("dist: rejecting watch from %v: event streaming not enabled", conn.RemoteAddr())
+		s.log.Warn("watch rejected: event streaming not enabled", "remote", conn.RemoteAddr())
 		conn.Close()
 		return
 	}
@@ -524,7 +554,7 @@ func (s *Server) serveWatch(conn net.Conn, br *bufio.Reader) {
 		conn.Close()
 		return
 	}
-	s.logf("dist: watch client %v subscribed", conn.RemoteAddr())
+	s.log.Info("watch client subscribed", "remote", conn.RemoteAddr())
 	sub := b.subscribe()
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(&message{
@@ -556,7 +586,7 @@ func (s *Server) serveWatch(conn net.Conn, br *bufio.Reader) {
 	}
 	b.unsubscribe(sub)
 	conn.Close()
-	s.logf("dist: watch client %v unsubscribed", conn.RemoteAddr())
+	s.log.Info("watch client unsubscribed", "remote", conn.RemoteAddr())
 }
 
 // serveStats answers a one-shot stats request (protocol 1.1): one
@@ -571,7 +601,26 @@ func (s *Server) serveStats(conn net.Conn) {
 		Proto: &wireVersion{Major: ProtoMajor, Minor: ProtoMinor},
 		Stats: snap.toWire(),
 	}); err != nil {
-		s.logf("dist: stats reply to %v failed: %v", conn.RemoteAddr(), err)
+		s.log.Warn("stats reply failed", "remote", conn.RemoteAddr(), "err", err)
+	}
+}
+
+// serveTrace answers a one-shot trace request (protocol 1.2): one
+// versioned reply carrying the retained decision traces, oldest first,
+// then close. A server without a TraceRecorder replies with an empty
+// list — the request is still understood.
+func (s *Server) serveTrace(conn net.Conn) {
+	defer conn.Close()
+	var traces []Trace
+	if s.cfg.Traces != nil {
+		traces = s.cfg.Traces.Traces()
+	}
+	if err := json.NewEncoder(conn).Encode(&message{
+		Type:   msgTrace,
+		Proto:  &wireVersion{Major: ProtoMajor, Minor: ProtoMinor},
+		Traces: tracesToWire(traces),
+	}); err != nil {
+		s.log.Warn("trace reply failed", "remote", conn.RemoteAddr(), "err", err)
 	}
 }
 
@@ -605,7 +654,10 @@ func (s *Server) handleDone(w *remoteWorker, id task.ID, elapsed units.Seconds, 
 	}
 	w.completed++
 	s.completed++
-	s.observeLatencyLocked(time.Since(p.sentAt).Seconds())
+	s.met.completed.Inc()
+	lat := time.Since(p.sentAt).Seconds()
+	s.observeLatencyLocked(lat)
+	s.met.dispatchLatency.Observe(lat)
 	if elapsed > 0 {
 		w.rate.Observe(float64(p.t.Size) / float64(elapsed))
 	}
@@ -671,16 +723,13 @@ func (s *Server) unregister(w *remoteWorker) {
 	// Reissue in deterministic (ID) order so reruns behave alike.
 	sort.Slice(lost, func(i, j int) bool { return lost[i].ID < lost[j].ID })
 	s.reissued += len(lost)
+	s.met.reissued.Add(float64(len(lost)))
 	s.queue.PushAll(lost)
 	close(w.out)
 	pool := len(s.workers)
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	if len(lost) > 0 {
-		s.logf("dist: worker %s left; reissuing %d tasks", w.name, len(lost))
-	} else {
-		s.logf("dist: worker %s left", w.name)
-	}
+	s.log.Info("worker left", "worker", w.name, "reissued", len(lost), "workers", pool)
 	if s.observer != nil {
 		s.observer.OnWorkerLeft(observe.WorkerLeft{
 			Name:     w.name,
@@ -722,9 +771,13 @@ func (s *Server) scheduleLoop() {
 
 		// The GA runs for real wall-clock time here; the lock is free so
 		// workers keep reporting completions and joining/leaving.
+		t0 := time.Now()
 		asg, cost := s.cfg.Scheduler.ScheduleBatch(batch, snap)
-		s.logf("dist: scheduled batch of %d tasks across %d workers (modelled cost %v)",
-			len(batch), snap.M(), cost)
+		wall := time.Since(t0).Seconds()
+		s.met.batchWall.Observe(wall)
+		s.met.batches.Inc()
+		s.log.Info("batch scheduled", "tasks", len(batch), "workers", snap.M(),
+			"cost", float64(cost), "wall", wall)
 		s.mu.Lock()
 		s.batches++
 		invocations := s.batches
@@ -737,6 +790,7 @@ func (s *Server) scheduleLoop() {
 				Procs:      snap.M(),
 				Cost:       cost,
 				At:         units.Seconds(time.Since(s.start).Seconds()),
+				Wall:       units.Seconds(wall),
 			})
 		}
 
@@ -783,6 +837,7 @@ func (s *Server) dispatchLocked(workers []*remoteWorker, asg sched.Assignment) [
 			continue
 		}
 		solo := len(w.outstanding) == 0
+		s.met.dispatched.Add(float64(len(ts)))
 		for _, t := range ts {
 			w.outstanding[t.ID] = pendingTask{t: t, sentAt: now, soloDispatch: solo}
 			w.pending += t.Size

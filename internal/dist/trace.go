@@ -1,0 +1,295 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"pnsched/internal/observe"
+	"pnsched/internal/units"
+)
+
+// DefaultTraceRing is the number of recent batch decision traces a
+// server retains when its TraceRecorder is built with a non-positive
+// ring size.
+const DefaultTraceRing = 16
+
+// maxTracePoints caps one trace's generation-best curve. The curve is
+// improvement-compressed (a point is recorded only when the best
+// makespan drops), so real runs stay far below the cap; it exists so a
+// pathological run cannot grow a trace without bound.
+const maxTracePoints = 512
+
+// TracePoint is one improvement on a trace's generation-best makespan
+// curve: at Generation the best predicted makespan dropped to Makespan.
+type TracePoint struct {
+	Generation int
+	Makespan   units.Seconds
+}
+
+// Trace is the full record of one batch-scheduling decision — the
+// paper's per-decision convergence trajectory (Fig. 3) plus the §3.4
+// budget ledger, kept by the server in a bounded ring and retrievable
+// over the wire (protocol 1.2) or via Server.Traces.
+type Trace struct {
+	// Invocation, Scheduler, Tasks, Procs, Cost, At and Wall mirror the
+	// batch_decided event that closed the trace.
+	Invocation int
+	Scheduler  string
+	Tasks      int
+	Procs      int
+	Cost       units.Seconds
+	At         units.Seconds
+	Wall       units.Seconds
+	// Generations, Evaluations, Genes, RebalanceEvals, Budget, Spent,
+	// BestMakespan and Reason are the GA run's EvolveDone ledger; all
+	// zero for heuristic schedulers, which run no GA.
+	Generations    int
+	Evaluations    int
+	Genes          int
+	RebalanceEvals int
+	Budget         units.Seconds
+	Spent          units.Seconds
+	BestMakespan   units.Seconds
+	Reason         string
+	// Migrations is the number of island ring exchanges during the run.
+	Migrations int
+	// Curve is the generation-best makespan trajectory, one point per
+	// improvement, in generation order.
+	Curve []TracePoint
+}
+
+// TraceRecorder assembles decision traces from the observer stream: it
+// accumulates GenerationBest / Migration / EvolveDone events into a
+// staging area and, on the BatchDecided event that ends every decision,
+// seals them into one Trace in a bounded ring (oldest evicted first).
+//
+// It relies on the runtime's per-decision event ordering — all GA
+// events of a decision are delivered before its BatchDecided — which
+// both the simulator and the live server guarantee. It is safe for
+// concurrent use; island-model runs deliver generation events from the
+// coordinator goroutine.
+type TraceRecorder struct {
+	observe.Funcs // no-op for the events a trace does not consume
+
+	mu      sync.Mutex
+	ring    []Trace
+	ringW   int
+	ringN   int
+	staging Trace
+}
+
+// NewTraceRecorder returns a recorder retaining the last ring traces
+// (non-positive selects DefaultTraceRing).
+func NewTraceRecorder(ring int) *TraceRecorder {
+	if ring <= 0 {
+		ring = DefaultTraceRing
+	}
+	return &TraceRecorder{ring: make([]Trace, ring)}
+}
+
+// OnGenerationBest implements observe.Observer: improvements extend the
+// staged curve.
+func (t *TraceRecorder) OnGenerationBest(e observe.GenerationBest) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.staging.Curve
+	if len(c) > 0 && e.Makespan >= c[len(c)-1].Makespan {
+		return // no improvement: curve stays compressed
+	}
+	if len(c) >= maxTracePoints {
+		return
+	}
+	t.staging.Curve = append(c, TracePoint{Generation: e.Generation, Makespan: e.Makespan})
+}
+
+// OnMigration implements observe.Observer.
+func (t *TraceRecorder) OnMigration(observe.Migration) {
+	t.mu.Lock()
+	t.staging.Migrations++
+	t.mu.Unlock()
+}
+
+// OnEvolveDone implements observe.Observer: the run's ledger is staged
+// for the decision about to close.
+func (t *TraceRecorder) OnEvolveDone(e observe.EvolveDone) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.staging.Generations = e.Generations
+	t.staging.Evaluations = e.Evaluations
+	t.staging.Genes = e.Genes
+	t.staging.RebalanceEvals = e.RebalanceEvals
+	t.staging.Budget = e.Budget
+	t.staging.Spent = e.Spent
+	t.staging.BestMakespan = e.BestMakespan
+	t.staging.Reason = e.Reason
+}
+
+// OnBatchDecided implements observe.Observer: the staged GA state plus
+// the decision's own fields become one sealed Trace, and staging resets
+// for the next decision.
+func (t *TraceRecorder) OnBatchDecided(e observe.BatchDecision) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.staging
+	tr.Invocation = e.Invocation
+	tr.Scheduler = e.Scheduler
+	tr.Tasks = e.Tasks
+	tr.Procs = e.Procs
+	tr.Cost = e.Cost
+	tr.At = e.At
+	tr.Wall = e.Wall
+	t.ring[t.ringW] = tr
+	t.ringW = (t.ringW + 1) % len(t.ring)
+	if t.ringN < len(t.ring) {
+		t.ringN++
+	}
+	t.staging = Trace{}
+}
+
+// Traces returns the retained decision traces, oldest first. The curve
+// slices are copied; callers may keep the result.
+func (t *TraceRecorder) Traces() []Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, 0, t.ringN)
+	start := t.ringW - t.ringN
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.ringN; i++ {
+		tr := t.ring[(start+i)%len(t.ring)]
+		tr.Curve = append([]TracePoint(nil), tr.Curve...)
+		out = append(out, tr)
+	}
+	return out
+}
+
+// wireTrace is the JSON form of Trace carried by the trace reply
+// (protocol 1.2), flattened onto plain scalars like every other wire
+// payload.
+type wireTrace struct {
+	Invocation     int              `json:"invocation"`
+	Scheduler      string           `json:"scheduler"`
+	Tasks          int              `json:"tasks"`
+	Procs          int              `json:"procs"`
+	Cost           float64          `json:"cost"`
+	At             float64          `json:"at"`
+	Wall           float64          `json:"wall,omitempty"`
+	Generations    int              `json:"generations,omitempty"`
+	Evaluations    int              `json:"evaluations,omitempty"`
+	Genes          int              `json:"genes,omitempty"`
+	RebalanceEvals int              `json:"rebalance_evals,omitempty"`
+	Budget         float64          `json:"budget,omitempty"`
+	Spent          float64          `json:"spent,omitempty"`
+	BestMakespan   float64          `json:"best_makespan,omitempty"`
+	Reason         string           `json:"reason,omitempty"`
+	Migrations     int              `json:"migrations,omitempty"`
+	Curve          []wireTracePoint `json:"curve,omitempty"`
+}
+
+type wireTracePoint struct {
+	Generation int     `json:"generation"`
+	Makespan   float64 `json:"makespan"`
+}
+
+func (t Trace) toWire() wireTrace {
+	w := wireTrace{
+		Invocation:     t.Invocation,
+		Scheduler:      t.Scheduler,
+		Tasks:          t.Tasks,
+		Procs:          t.Procs,
+		Cost:           float64(t.Cost),
+		At:             float64(t.At),
+		Wall:           float64(t.Wall),
+		Generations:    t.Generations,
+		Evaluations:    t.Evaluations,
+		Genes:          t.Genes,
+		RebalanceEvals: t.RebalanceEvals,
+		Budget:         float64(t.Budget),
+		Spent:          float64(t.Spent),
+		BestMakespan:   float64(t.BestMakespan),
+		Reason:         t.Reason,
+		Migrations:     t.Migrations,
+	}
+	for _, p := range t.Curve {
+		w.Curve = append(w.Curve, wireTracePoint{Generation: p.Generation, Makespan: float64(p.Makespan)})
+	}
+	return w
+}
+
+func (w wireTrace) toTrace() Trace {
+	t := Trace{
+		Invocation:     w.Invocation,
+		Scheduler:      w.Scheduler,
+		Tasks:          w.Tasks,
+		Procs:          w.Procs,
+		Cost:           units.Seconds(w.Cost),
+		At:             units.Seconds(w.At),
+		Wall:           units.Seconds(w.Wall),
+		Generations:    w.Generations,
+		Evaluations:    w.Evaluations,
+		Genes:          w.Genes,
+		RebalanceEvals: w.RebalanceEvals,
+		Budget:         units.Seconds(w.Budget),
+		Spent:          units.Seconds(w.Spent),
+		BestMakespan:   units.Seconds(w.BestMakespan),
+		Reason:         w.Reason,
+		Migrations:     w.Migrations,
+	}
+	for _, p := range w.Curve {
+		t.Curve = append(t.Curve, TracePoint{Generation: p.Generation, Makespan: units.Seconds(p.Makespan)})
+	}
+	return t
+}
+
+func tracesToWire(ts []Trace) []wireTrace {
+	out := make([]wireTrace, len(ts))
+	for i, t := range ts {
+		out[i] = t.toWire()
+	}
+	return out
+}
+
+// FetchTraces dials a running server, requests its retained decision
+// traces, and returns them oldest first. Like FetchStats it is a
+// one-shot exchange: the request is a bare {"type":"trace"}, the reply
+// a versioned trace list. Servers predating protocol 1.2 do not know
+// the message and drop the connection, which surfaces as an error.
+func FetchTraces(ctx context.Context, addr string) ([]Trace, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: trace dial: %w", err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	if err := json.NewEncoder(conn).Encode(&message{Type: msgTrace}); err != nil {
+		return nil, fmt.Errorf("dist: trace request: %w", err)
+	}
+	line, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("dist: trace reply: %w (server may predate protocol 1.2)", err)
+	}
+	m, _, err := decodeWireMessage(line)
+	if err != nil {
+		return nil, err
+	}
+	if m == nil || m.Type != msgTrace {
+		return nil, errors.New("dist: unexpected reply to trace request")
+	}
+	out := make([]Trace, 0, len(m.Traces))
+	for _, w := range m.Traces {
+		out = append(out, w.toTrace())
+	}
+	return out, nil
+}

@@ -1,6 +1,11 @@
 // Package metrics aggregates simulation results across experiment
 // repeats and renders them as aligned text tables, CSV, and ASCII plots
 // — the output layer behind every figure regeneration in the harness.
+//
+// This is the *experiment output* layer, not runtime telemetry: it
+// summarises what a finished study measured. Live operational metrics
+// — the counters, gauges and histograms a running server exposes at
+// /metrics in Prometheus format — live in internal/telemetry.
 package metrics
 
 import (

@@ -17,6 +17,8 @@
 //   - Dispatch        — a task was sent to a processor / worker
 //   - BudgetStop      — a GA run stopped because the §3.4
 //     time-to-first-idle budget was exhausted
+//   - EvolveDone      — a GA run finished; the full evaluation ledger
+//     (generations, evaluations, genes, budget spent vs. modelled)
 //   - WorkerJoined    — a worker registered with the live server
 //   - WorkerLeft      — a worker disconnected (its unfinished tasks
 //     were reissued)
@@ -56,6 +58,10 @@ type BatchDecision struct {
 	// At is the decision time: simulated seconds in the simulator,
 	// seconds since server start in the live runtime.
 	At units.Seconds
+	// Wall is real wall-clock time the decision took, in seconds.
+	// The live server always fills it; simulator paths may leave it
+	// zero (the modelled Cost is the honest figure there).
+	Wall units.Seconds
 }
 
 // GenerationBest reports the best predicted makespan after one GA
@@ -102,6 +108,35 @@ type BudgetStop struct {
 	Spent units.Seconds
 }
 
+// EvolveDone reports the end-of-run ledger of one GA evolution — the
+// per-decision convergence accounting the paper's §3.4 budget argument
+// turns on, summarised once per batch decision instead of once per
+// generation.
+type EvolveDone struct {
+	// Generations is the number of generations the run completed.
+	Generations int
+	// Evaluations is the number of full fitness evaluations performed.
+	Evaluations int
+	// Genes is the number of genes touched by fitness evaluation
+	// (full and incremental); Evaluations×genes() for the naive engine,
+	// less for the incremental one.
+	Genes int
+	// RebalanceEvals counts load-balancing evaluations by the §3.5
+	// rebalancer.
+	RebalanceEvals int
+	// Budget is the §3.4 time-to-first-idle allowance the run was
+	// given (zero means unlimited).
+	Budget units.Seconds
+	// Spent is the modelled evaluation cost the run billed against
+	// the budget.
+	Spent units.Seconds
+	// BestMakespan is the final best predicted makespan.
+	BestMakespan units.Seconds
+	// Reason is the engine's stop reason ("max-generations",
+	// "target-fitness", "callback" — the latter covering budget stops).
+	Reason string
+}
+
 // WorkerJoined reports a worker registering with the live server.
 type WorkerJoined struct {
 	// Name is the worker's wire identity (hello name).
@@ -139,6 +174,7 @@ type Observer interface {
 	OnMigration(Migration)
 	OnDispatch(Dispatch)
 	OnBudgetStop(BudgetStop)
+	OnEvolveDone(EvolveDone)
 	OnWorkerJoined(WorkerJoined)
 	OnWorkerLeft(WorkerLeft)
 }
@@ -151,6 +187,7 @@ type Funcs struct {
 	Migration      func(Migration)
 	Dispatch       func(Dispatch)
 	BudgetStop     func(BudgetStop)
+	EvolveDone     func(EvolveDone)
 	WorkerJoined   func(WorkerJoined)
 	WorkerLeft     func(WorkerLeft)
 }
@@ -187,6 +224,13 @@ func (f Funcs) OnDispatch(e Dispatch) {
 func (f Funcs) OnBudgetStop(e BudgetStop) {
 	if f.BudgetStop != nil {
 		f.BudgetStop(e)
+	}
+}
+
+// OnEvolveDone implements Observer.
+func (f Funcs) OnEvolveDone(e EvolveDone) {
+	if f.EvolveDone != nil {
+		f.EvolveDone(e)
 	}
 }
 
@@ -234,6 +278,12 @@ func (m multi) OnDispatch(e Dispatch) {
 func (m multi) OnBudgetStop(e BudgetStop) {
 	for _, o := range m {
 		o.OnBudgetStop(e)
+	}
+}
+
+func (m multi) OnEvolveDone(e EvolveDone) {
+	for _, o := range m {
+		o.OnEvolveDone(e)
 	}
 }
 

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminMux builds the admin HTTP surface served behind
+// pnsched.WithAdminAddr / pnserver -admin:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       200 "ok" while healthz returns nil, 503 otherwise
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// healthz may be nil, in which case the process is always healthy. The
+// pprof handlers are registered explicitly (rather than via the
+// package's DefaultServeMux side effects) so the admin server works on
+// its own mux and nothing leaks onto the default one.
+func AdminMux(reg *Registry, healthz func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if healthz != nil {
+			if err := healthz(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAdminMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pn_requests_total", "Requests.").Add(9)
+	healthy := true
+	mux := AdminMux(reg, func() error {
+		if !healthy {
+			return errors.New("degraded")
+		}
+		return nil
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ct := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct != ContentType {
+		t.Fatalf("/metrics content-type = %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(body, "pn_requests_total 9") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	code, body, _ = get("/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d (index should list profiles)", code)
+	}
+}
+
+func TestAdminMuxNilHealthz(t *testing.T) {
+	mux := AdminMux(NewRegistry(), nil)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz with nil check = %d", resp.StatusCode)
+	}
+}

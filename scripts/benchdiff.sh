@@ -1,0 +1,92 @@
+#!/bin/sh
+# benchdiff: the benchmark regression gate.
+#
+# Compares a freshly generated pnbench JSON record against the
+# committed baseline and fails when any row's wall-clock time regressed
+# by more than the threshold. Rows are keyed by (result name, first
+# column) — for BENCH_evolve.json that is ("evolve", engine) — and
+# compared on the "wall[ms]" column, located by header so column
+# reordering cannot silently compare the wrong numbers.
+#
+# Usage:
+#
+#	sh scripts/benchdiff.sh BASELINE.json FRESH.json...
+#
+# With several FRESH files (make bench-diff generates three) each row
+# compares against its *minimum* fresh wall: the minimum of repeated
+# runs filters scheduler and load spikes, which on a busy machine
+# dwarf real regressions — a single-shot comparison would flag noise.
+# The threshold defaults to 15 (%); BENCHDIFF_MAX_PCT overrides it.
+# Rows present in only one side are reported but do not fail the gate
+# (adding or retiring an engine is a reviewed change, not a
+# regression). Run via `make bench-diff`.
+set -eu
+
+if [ $# -lt 2 ]; then
+	echo "usage: sh scripts/benchdiff.sh BASELINE.json FRESH.json..." >&2
+	exit 2
+fi
+baseline=$1
+shift
+maxpct=${BENCHDIFF_MAX_PCT:-15}
+
+command -v jq >/dev/null 2>&1 || {
+	echo "benchdiff: jq not found; skipping benchmark gate" >&2
+	exit 0
+}
+[ -f "$baseline" ] || { echo "benchdiff: no baseline $baseline" >&2; exit 2; }
+for f in "$@"; do
+	[ -f "$f" ] || { echo "benchdiff: no fresh record $f" >&2; exit 2; }
+done
+
+# walls FILE... — "result/rowkey wall_ms" per row, via the wall[ms]
+# header column; repeated keys keep the minimum.
+walls() {
+	jq -r '.results[]
+		| (.header | index("wall[ms]")) as $w
+		| select($w != null)
+		| .name as $n
+		| .rows[]
+		| "\($n)/\(.[0]) \(.[$w])"' "$@" |
+		awk '{ if (!($1 in min) || $2 + 0 < min[$1] + 0) min[$1] = $2 }
+		     END { for (k in min) print k, min[k] }' | sort
+}
+
+walls "$baseline" >/tmp/benchdiff_base.$$
+walls "$@" >/tmp/benchdiff_fresh.$$
+trap 'rm -f /tmp/benchdiff_base.$$ /tmp/benchdiff_fresh.$$' EXIT
+
+status=0
+while read -r key base; do
+	new=$(awk -v k="$key" '$1 == k { print $2 }' /tmp/benchdiff_fresh.$$)
+	if [ -z "$new" ]; then
+		echo "benchdiff: $key present in baseline only (not a failure)"
+		continue
+	fi
+	verdict=$(awk -v b="$base" -v n="$new" -v m="$maxpct" 'BEGIN {
+		pct = (b > 0) ? (n - b) / b * 100 : 0
+		printf "%+.1f%% (%.3fms -> %.3fms) ", pct, b, n
+		print (pct > m) ? "REGRESSED" : "ok"
+	}')
+	case $verdict in
+	*REGRESSED)
+		echo "benchdiff: $key wall $verdict (limit +$maxpct%)" >&2
+		status=1
+		;;
+	*)
+		echo "benchdiff: $key wall $verdict"
+		;;
+	esac
+done </tmp/benchdiff_base.$$
+
+while read -r key _; do
+	if ! awk -v k="$key" '$1 == k { found = 1 } END { exit !found }' /tmp/benchdiff_base.$$; then
+		echo "benchdiff: $key is new in the fresh record (not a failure)"
+	fi
+done </tmp/benchdiff_fresh.$$
+
+if [ "$status" -ne 0 ]; then
+	echo "benchdiff: wall-clock regression beyond +$maxpct% against $baseline" >&2
+	echo "benchdiff: if intentional, regenerate the baseline with: make bench-smoke" >&2
+fi
+exit "$status"

@@ -77,6 +77,22 @@ for k in $kinds; do
 	fi
 done
 
+# The request/reply messages (stats 1.1, trace 1.2) each pin their
+# reply encoding in a golden file the spec must cite and illustrate.
+for m in stats trace; do
+	golden=internal/dist/testdata/golden/${m}_reply.json
+	if [ ! -f "$golden" ]; then
+		echo "docscheck: message type \"$m\" has no reply golden $golden" >&2
+		status=1
+	elif ! grep -qF "${m}_reply.json" "$spec"; then
+		echo "docscheck: $spec does not cite the ${m}_reply.json golden" >&2
+		status=1
+	elif ! grep -qF "{\"type\":\"$m\"}" "$spec"; then
+		echo "docscheck: $spec shows no bare \"$m\" request example" >&2
+		status=1
+	fi
+done
+
 if [ "$status" -eq 0 ]; then
 	echo "docscheck: README.md and docs/wire-protocol.md agree with $proto ($(printf '%s\n' "$types" | wc -l | tr -d ' ') message types, $(printf '%s\n' "$kinds" | wc -l | tr -d ' ') event kinds)"
 fi

@@ -3,12 +3,15 @@ package pnsched
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"pnsched/internal/dist"
 	"pnsched/internal/observe"
+	"pnsched/internal/telemetry"
 )
 
 // ServeOption adjusts one Serve invocation; see the WithServe* and
@@ -16,14 +19,15 @@ import (
 type ServeOption func(*serveOpts)
 
 type serveOpts struct {
-	addr     string
-	ln       net.Listener
-	logf     func(format string, args ...any)
-	observer Observer
-	nu       float64
-	backlog  int
-	queue    int
-	replay   int
+	addr      string
+	ln        net.Listener
+	log       *slog.Logger
+	observer  Observer
+	nu        float64
+	backlog   int
+	queue     int
+	replay    int
+	adminAddr string
 }
 
 // WithListenAddr sets the TCP address the server listens on. The
@@ -36,11 +40,31 @@ func WithListenAddr(addr string) ServeOption { return func(o *serveOpts) { o.add
 // the server takes ownership and closes it on Close.
 func WithListener(ln net.Listener) ServeOption { return func(o *serveOpts) { o.ln = ln } }
 
-// WithServeLog receives the server's progress logging (worker joins
-// and leaves, batch dispatches, reissues, watch subscriptions). The
-// default is silent.
-func WithServeLog(logf func(format string, args ...any)) ServeOption {
-	return func(o *serveOpts) { o.logf = logf }
+// WithServeLog routes the server's structured progress logging (worker
+// joins and leaves, batch decisions, reissues, watch subscriptions,
+// protocol rejections) to a slog logger as levelled key-value records.
+// The default is silent.
+func WithServeLog(log *slog.Logger) ServeOption {
+	return func(o *serveOpts) { o.log = log }
+}
+
+// WithAdminAddr additionally serves an HTTP admin endpoint on the
+// given address (e.g. "127.0.0.1:9090"):
+//
+//	/metrics       runtime telemetry in Prometheus text format —
+//	               task/batch counters, queue depths, the
+//	               dispatch-latency and batch-wall histograms, GA
+//	               generation/evaluation/budget counters, per-worker
+//	               and per-watcher series
+//	/healthz       liveness probe (200 "ok")
+//	/debug/pprof/  the standard Go profiling handlers
+//
+// The admin listener binds when Serve is called (a bind failure fails
+// Serve) and closes with the server; read the bound address back with
+// Server.AdminAddr. The default is no admin endpoint; metrics are
+// still collected either way.
+func WithAdminAddr(addr string) ServeOption {
+	return func(o *serveOpts) { o.adminAddr = addr }
 }
 
 // WithServeObserver delivers the run's events to an in-process
@@ -89,8 +113,12 @@ type ServerStats struct {
 type Server struct {
 	srv    *dist.Server
 	events *dist.Broadcaster
+	traces *dist.TraceRecorder
 	addr   net.Addr
 	stop   func() bool // detaches the context watcher
+
+	adminLn  net.Listener // nil without WithAdminAddr
+	adminSrv *http.Server
 
 	closeOnce sync.Once
 	closeErr  error
@@ -119,10 +147,14 @@ func Serve(ctx context.Context, spec Spec, opts ...ServeOption) (*Server, error)
 	}
 
 	events := dist.NewBroadcaster(so.queue, so.replay)
+	reg := telemetry.NewRegistry()
+	traces := dist.NewTraceRecorder(0)
 	// The scheduler publishes its GA-level events straight into the
 	// broadcaster (and the in-process observers); the server's own
-	// events reach the broadcaster via ServerConfig.Events.
-	local := observe.Multi(spec.observer, so.observer)
+	// events reach the broadcaster via ServerConfig.Events. The trace
+	// recorder and the GA metrics observer sit in the local chain so
+	// both GA-run and server-batch events reach them.
+	local := observe.Multi(spec.observer, so.observer, traces, dist.NewMetricsObserver(reg))
 	spec.observer = observe.Multi(local, events)
 	sch, err := New(spec)
 	if err != nil {
@@ -134,11 +166,13 @@ func Serve(ctx context.Context, spec Spec, opts ...ServeOption) (*Server, error)
 	}
 	srv, err := dist.NewServer(dist.ServerConfig{
 		Scheduler: batch,
-		Logf:      so.logf,
+		Log:       so.log,
 		Observer:  local,
 		Events:    events,
 		Nu:        so.nu,
 		Backlog:   so.backlog,
+		Metrics:   reg,
+		Traces:    traces,
 	})
 	if err != nil {
 		return nil, err
@@ -152,7 +186,18 @@ func Serve(ctx context.Context, spec Spec, opts ...ServeOption) (*Server, error)
 		}
 	}
 
-	s := &Server{srv: srv, events: events, addr: ln.Addr(), serveErr: make(chan error, 1)}
+	s := &Server{srv: srv, events: events, traces: traces, addr: ln.Addr(), serveErr: make(chan error, 1)}
+	if so.adminAddr != "" {
+		adminLn, err := net.Listen("tcp", so.adminAddr)
+		if err != nil {
+			srv.Close()
+			ln.Close()
+			return nil, fmt.Errorf("pnsched: admin listener: %w", err)
+		}
+		s.adminLn = adminLn
+		s.adminSrv = &http.Server{Handler: telemetry.AdminMux(reg, nil)}
+		go s.adminSrv.Serve(adminLn)
+	}
 	go func() { s.serveErr <- srv.Serve(ln) }()
 	if ctx != nil && ctx.Done() != nil {
 		s.stop = context.AfterFunc(ctx, func() { s.Close() })
@@ -163,6 +208,22 @@ func Serve(ctx context.Context, spec Spec, opts ...ServeOption) (*Server, error)
 // Addr returns the server's listening address — with the default
 // ephemeral port, the address workers and watchers should dial.
 func (s *Server) Addr() net.Addr { return s.addr }
+
+// AdminAddr returns the admin HTTP endpoint's bound address, or nil
+// when the server was started without WithAdminAddr.
+func (s *Server) AdminAddr() net.Addr {
+	if s.adminLn == nil {
+		return nil
+	}
+	return s.adminLn.Addr()
+}
+
+// Traces returns the server's retained per-batch decision traces,
+// oldest first: for every recent batch decision, the scheduler, batch
+// size, generation-best makespan curve, evaluation and §3.4 budget
+// ledger, migration count, and wall time. The same records are served
+// over the wire to FetchTraces clients and `pnserver -trace`.
+func (s *Server) Traces() []DecisionTrace { return s.traces.Traces() }
 
 // Submit appends tasks to the server's unscheduled FCFS queue. It may
 // be called any number of times, including while earlier submissions
@@ -208,6 +269,14 @@ func FetchStats(ctx context.Context, addr string) (ServerSnapshot, error) {
 	return dist.FetchStats(ctx, addr)
 }
 
+// FetchTraces requests a live server's retained decision traces over
+// the wire — the client side of Server.Traces, used by `pnserver
+// -trace`. The server must speak protocol 1.2 or newer; older servers
+// reject the request, which surfaces as an error.
+func FetchTraces(ctx context.Context, addr string) ([]DecisionTrace, error) {
+	return dist.FetchTraces(ctx, addr)
+}
+
 // Close shuts the server down: the listener closes, worker and watch
 // connections drop, and blocked Wait calls return ErrServerClosed.
 // Close is idempotent.
@@ -215,6 +284,9 @@ func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		if s.stop != nil {
 			s.stop()
+		}
+		if s.adminSrv != nil {
+			s.adminSrv.Close()
 		}
 		s.closeErr = s.srv.Close()
 		if err := <-s.serveErr; err != nil && s.closeErr == nil {
