@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz-smoke lint apicheck docs-check bench bench-smoke bench-diff admin-smoke vulncheck ci
+.PHONY: build test race fuzz-smoke lint apicheck analyze docs-check bench bench-smoke bench-diff admin-smoke vulncheck ci
 
 build:
 	$(GO) build ./...
@@ -29,13 +29,26 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 
-# The public-API layering gate: vet plus the assertion that no cmd/ or
-# examples/ package imports the GA internals (internal/core,
-# internal/ga) directly — everything constructs schedulers through the
-# pnsched registry.
+# The public-API layering gate: vet plus the layering analyzer from
+# the pnanalyze suite (tools/), which checks the whole import DAG —
+# cmd/ and examples/ must not import internal/core, internal/ga or
+# internal/dist, and the internal layers must respect their own
+# allowlists (docs/static-analysis.md has the full rule table). The
+# layering analyzer is parse-only, so this gate stays sub-second.
 apicheck:
 	$(GO) vet ./...
-	sh scripts/apicheck.sh
+	cd tools && $(GO) run ./cmd/pnanalyze -dir .. -only layering
+
+# The full static-analysis suite: the tools/ module's own tests (each
+# analyzer proves on fixtures that it fires and stays quiet), then all
+# eight analyzers over the root module, then the assertion that both
+# go.mod files stay dependency-free — pnanalyze itself is stdlib-only,
+# and `go mod tidy -diff` fails if either module picks up a require.
+analyze:
+	cd tools && $(GO) test ./...
+	cd tools && $(GO) run ./cmd/pnanalyze -dir ..
+	$(GO) mod tidy -diff
+	cd tools && $(GO) mod tidy -diff
 
 # The documentation drift gate: the event-kind tables in README.md and
 # docs/wire-protocol.md must list exactly the kind constants of
@@ -88,4 +101,4 @@ vulncheck:
 		echo "vulncheck: govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: build lint apicheck docs-check test race fuzz-smoke bench bench-diff bench-smoke admin-smoke vulncheck
+ci: build lint apicheck analyze docs-check test race fuzz-smoke bench bench-diff bench-smoke admin-smoke vulncheck

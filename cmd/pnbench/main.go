@@ -75,8 +75,8 @@ func main() {
 
 		var csv *os.File
 		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fatal(err)
+			if mkErr := os.MkdirAll(*csvDir, 0o755); mkErr != nil {
+				fatal(mkErr)
 			}
 			path := filepath.Join(*csvDir, figureLabel(name)+".csv")
 			if csv, err = os.Create(path); err != nil {

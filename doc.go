@@ -93,4 +93,13 @@
 // Build and test with the Makefile (make ci mirrors the GitHub Actions
 // workflow): go build, vet + gofmt, the apicheck layering gate, go
 // test -race, and a benchmark smoke pass.
+//
+// Contributing: the architectural invariants — the import DAG, the
+// no-hidden-entropy rule in the GA core, the nothing-blocks-under-a-
+// mutex rule in internal/dist, slog hygiene, and explicit json tags on
+// wire structs — are machine-checked by the pnanalyze suite in tools/
+// (run `make analyze`; docs/static-analysis.md lists each invariant
+// with its rationale). New code must pass the suite; a finding is
+// waived only by a reviewed //pnanalyze:ok comment explaining why the
+// invariant holds anyway.
 package pnsched

@@ -127,7 +127,7 @@ func (b *Broadcaster) subscribeBuf(queue int) *eventSub {
 			start += len(b.ring)
 		}
 		for i := 0; i < n; i++ {
-			s.out <- b.ring[(start+i)%len(b.ring)]
+			s.out <- b.ring[(start+i)%len(b.ring)] //pnanalyze:ok locksend — s.out is freshly made with cap >= n, so these sends cannot block
 		}
 	}
 	b.subs[s] = struct{}{}

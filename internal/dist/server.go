@@ -795,7 +795,7 @@ func (s *Server) scheduleLoop() {
 		}
 
 		s.mu.Lock()
-		dispatched := s.dispatchLocked(snap.workers, asg)
+		dispatched := s.dispatchLocked(snap.workers, asg) //pnanalyze:ok locksend — its only I/O is Conn.Close on a wedged peer, which does not block
 		s.mu.Unlock()
 		if s.observer != nil {
 			for _, d := range dispatched {

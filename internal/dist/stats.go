@@ -185,8 +185,8 @@ func FetchStats(ctx context.Context, addr string) (Snapshot, error) {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	if err := json.NewEncoder(conn).Encode(&message{Type: msgStats}); err != nil {
-		return Snapshot{}, fmt.Errorf("dist: stats request: %w", err)
+	if encErr := json.NewEncoder(conn).Encode(&message{Type: msgStats}); encErr != nil {
+		return Snapshot{}, fmt.Errorf("dist: stats request: %w", encErr)
 	}
 	line, err := readFrame(bufio.NewReader(conn))
 	if err != nil {

@@ -270,8 +270,8 @@ func FetchTraces(ctx context.Context, addr string) ([]Trace, error) {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	if err := json.NewEncoder(conn).Encode(&message{Type: msgTrace}); err != nil {
-		return nil, fmt.Errorf("dist: trace request: %w", err)
+	if encErr := json.NewEncoder(conn).Encode(&message{Type: msgTrace}); encErr != nil {
+		return nil, fmt.Errorf("dist: trace request: %w", encErr)
 	}
 	line, err := readFrame(bufio.NewReader(conn))
 	if err != nil {

@@ -57,12 +57,12 @@ func WatchEvents(ctx context.Context, addr string, o observe.Observer) (*Watcher
 
 	conn.SetDeadline(time.Now().Add(watchHandshakeTimeout))
 	enc := json.NewEncoder(conn)
-	if err := enc.Encode(&message{
+	if encErr := enc.Encode(&message{
 		Type:  msgWatch,
 		Proto: &wireVersion{Major: ProtoMajor, Minor: ProtoMinor},
-	}); err != nil {
+	}); encErr != nil {
 		conn.Close()
-		return nil, fmt.Errorf("dist: watch %s: sending handshake: %w", addr, err)
+		return nil, fmt.Errorf("dist: watch %s: sending handshake: %w", addr, encErr)
 	}
 	br := bufio.NewReader(conn)
 	welcome, err := readWelcome(br)

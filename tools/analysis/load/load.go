@@ -1,0 +1,258 @@
+// Package load parses and type-checks Go packages for the pnanalyze
+// suite using only the standard library: package metadata comes from
+// `go list -json`, module-local sources are parsed and checked with
+// go/parser + go/types, and standard-library imports are satisfied by
+// the stdlib source importer (go/importer, compiler "source"), which
+// works from GOROOT sources alone — no network, no export data, no
+// third-party loader.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func init() {
+	// Type-check the pure-Go view of the tree: cgo variants of std
+	// packages (net, os/user, ...) would need a C toolchain; their
+	// fallbacks are what a hermetic analysis should see anyway.
+	build.Default.CgoEnabled = false
+}
+
+// A Package is one parsed (and, when requested, type-checked)
+// module-local package.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Files []*ast.File
+
+	// Types and Info are nil in parse-only loads.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Config describes one Load.
+type Config struct {
+	// Dir is the directory `go list` runs in — the root of the module
+	// under analysis.
+	Dir string
+
+	// Patterns are go list package patterns; default ./...
+	Patterns []string
+
+	// Types requests full type checking. Without it packages are only
+	// parsed, which is enough for the purely syntactic analyzers and
+	// far faster (the standard library never gets type-checked).
+	Types bool
+}
+
+// Load lists, parses and (optionally) type-checks the packages matching
+// cfg.Patterns, returning them sorted by import path.
+func Load(cfg Config) ([]*Package, *token.FileSet, error) {
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(cfg.Dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	local := make(map[string]*meta)
+	var targets []string
+	for _, m := range metas {
+		if m.Standard {
+			continue
+		}
+		local[m.ImportPath] = m
+		if !m.DepOnly {
+			targets = append(targets, m.ImportPath)
+		}
+	}
+	sort.Strings(targets)
+
+	fset := token.NewFileSet()
+	ld := newLoader(fset, cfg.Types, func(path string) *meta { return local[path] })
+
+	var out []*Package
+	for _, path := range targets {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, fset, nil
+}
+
+// meta is the subset of `go list -json` output the loader uses.
+type meta struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+}
+
+func goList(dir string, patterns []string) ([]*meta, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,DepOnly,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var metas []*meta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		m := new(meta)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// loader type-checks local packages on demand, delegating every other
+// import path to the stdlib source importer. It implements
+// types.Importer.
+type loader struct {
+	fset    *token.FileSet
+	resolve func(path string) *meta
+	std     types.Importer
+	checked map[string]*Package
+	loading map[string]bool
+	types   bool
+}
+
+func newLoader(fset *token.FileSet, withTypes bool, resolve func(string) *meta) *loader {
+	ld := &loader{
+		fset:    fset,
+		resolve: resolve,
+		checked: make(map[string]*Package),
+		loading: make(map[string]bool),
+		types:   withTypes,
+	}
+	if withTypes {
+		ld.std = importer.ForCompiler(fset, "source", nil)
+	}
+	return ld
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	m := l.resolve(path)
+	if m == nil {
+		return nil, fmt.Errorf("unknown package %s", path)
+	}
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: m.Dir, Files: files}
+	if l.types {
+		info := NewInfo()
+		conf := types.Config{Importer: l}
+		tpkg, err := conf.Check(path, l.fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", path, err)
+		}
+		pkg.Types, pkg.Info = tpkg, info
+	}
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer for the imports of local packages.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.resolve(path) != nil {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Fixture loads the named packages from an analysistest-style fixture
+// tree: package path p lives in root/src/p, may import sibling fixture
+// packages by their path, and anything else resolves against the
+// standard library. Fixtures are always fully type-checked.
+func Fixture(root string, paths ...string) ([]*Package, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	ld := newLoader(fset, true, func(path string) *meta {
+		dir := filepath.Join(root, "src", filepath.FromSlash(path))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil
+		}
+		m := &meta{ImportPath: path, Dir: dir}
+		for _, e := range ents {
+			if name := e.Name(); strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				m.GoFiles = append(m.GoFiles, name)
+			}
+		}
+		if len(m.GoFiles) == 0 {
+			return nil
+		}
+		return m
+	})
+	var out []*Package
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, fset, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers read
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"pnsched/tools/analysis/analysistest"
+	"pnsched/tools/analyzers/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer,
+		"pnsched/internal/core",
+		"pnsched/internal/dist",
+	)
+}

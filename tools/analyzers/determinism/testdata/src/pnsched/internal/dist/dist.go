@@ -1,0 +1,11 @@
+// Package dist is a determinism fixture OUTSIDE the deterministic
+// scope: the runtime layer may read wall clocks and nothing fires.
+package dist
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+var Now = time.Now()

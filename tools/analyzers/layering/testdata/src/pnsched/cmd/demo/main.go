@@ -1,0 +1,12 @@
+// Command demo is a layering fixture: binaries must stay on the
+// public registry surface.
+package main
+
+import (
+	"pnsched/internal/core" // want `package cmd/demo must not import internal/core`
+	"pnsched/internal/units"
+)
+
+func main() {
+	_ = core.V + units.V
+}

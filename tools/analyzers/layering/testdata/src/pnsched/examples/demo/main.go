@@ -1,0 +1,11 @@
+// Command demo is a layering fixture for the examples/ subtree.
+package main
+
+import (
+	"pnsched/internal/dist" // want `package examples/demo must not import internal/dist`
+	"pnsched/internal/ga"   // want `package examples/demo must not import internal/ga`
+)
+
+func main() {
+	_ = dist.V + ga.V
+}

@@ -1,0 +1,10 @@
+// Package core is a layering fixture: the GA core must not reach up
+// into the distribution or telemetry layers.
+package core
+
+import (
+	"pnsched/internal/dist" // want `package internal/core must not import internal/dist`
+	"pnsched/internal/rng"
+)
+
+var V = dist.V + rng.V

@@ -1,0 +1,5 @@
+// Package dist is a layering-fixture stub.
+package dist
+
+// V anchors the package so blank imports are unnecessary.
+var V int

@@ -1,0 +1,14 @@
+// Package ga is a layering fixture: the engine may import only the
+// rng seam from the module.
+package ga
+
+import (
+	"sort"
+
+	"pnsched/internal/rng"
+	"pnsched/internal/task" // want `package internal/ga must not import internal/task \(outside its allowlist\)`
+)
+
+var V = rng.V + task.V
+
+var _ = sort.Ints // std imports are never constrained

@@ -1,0 +1,10 @@
+// Package observe is a layering fixture: task and units are its whole
+// allowlist, so this package is clean.
+package observe
+
+import (
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+var V = task.V + units.V

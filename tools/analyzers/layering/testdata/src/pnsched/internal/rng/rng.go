@@ -1,0 +1,5 @@
+// Package rng is a layering-fixture stub.
+package rng
+
+// V anchors the package so blank imports are unnecessary.
+var V int

@@ -1,0 +1,5 @@
+// Package task is a layering-fixture stub.
+package task
+
+// V anchors the package so blank imports are unnecessary.
+var V int

@@ -1,0 +1,7 @@
+// Package telemetry is a layering fixture: a pure leaf, so any
+// module-local import violates its (empty) allowlist.
+package telemetry
+
+import "pnsched/internal/task" // want `package internal/telemetry must not import internal/task \(outside its allowlist\)`
+
+var V = task.V

@@ -1,0 +1,5 @@
+// Package units is a layering-fixture stub.
+package units
+
+// V anchors the package so blank imports are unnecessary.
+var V int

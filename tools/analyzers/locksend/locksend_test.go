@@ -1,0 +1,12 @@
+package locksend_test
+
+import (
+	"testing"
+
+	"pnsched/tools/analysis/analysistest"
+	"pnsched/tools/analyzers/locksend"
+)
+
+func TestLockSend(t *testing.T) {
+	analysistest.Run(t, "testdata", locksend.Analyzer, "pnsched/internal/dist")
+}

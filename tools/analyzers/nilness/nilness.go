@@ -1,0 +1,197 @@
+// Package nilness flags dereferences that are provably nil on their
+// path: inside the true branch of `if x == nil` (or the else branch of
+// `if x != nil`), using x in a way that panics — field access through
+// a nil pointer, indexing a nil slice, calling a nil function or a
+// method on a nil interface, writing to a nil map, sending on a nil
+// channel — is reported, unless the branch reassigns x first.
+//
+// This is a deliberately syntactic, standard-library-only cousin of
+// the SSA-based golang.org/x/tools nilness analyzer (one of the stock
+// multichecker extras): it catches the guarded-the-wrong-way-around
+// bug class that survives review most often, while staying quiet on
+// anything it cannot prove.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pnsched/tools/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: "flag uses of a variable on the branch that proved it nil\n\n" +
+		"`if x == nil { ... x.f ... }` (and the inverted guard's else\n" +
+		"branch) panics at runtime; the guard was written backwards or\n" +
+		"the body belongs on the other branch.",
+	NeedsTypes: true,
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			id, op := nilCheckedIdent(pass, ifs.Cond)
+			if id == nil {
+				return true
+			}
+			switch op {
+			case "==":
+				checkBranch(pass, id, ifs.Body)
+			case "!=":
+				if alt, ok := ifs.Else.(*ast.BlockStmt); ok {
+					checkBranch(pass, id, alt)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilCheckedIdent matches `x == nil` / `x != nil` (either side) where
+// x is a plain identifier of nillable type.
+func nilCheckedIdent(pass *analysis.Pass, cond ast.Expr) (*ast.Ident, string) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := bin.Op.String()
+	if op != "==" && op != "!=" {
+		return nil, ""
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNilIdent(pass, y) {
+		if id, ok := x.(*ast.Ident); ok {
+			return id, op
+		}
+	}
+	if isNilIdent(pass, x) {
+		if id, ok := y.(*ast.Ident); ok {
+			return id, op
+		}
+	}
+	return nil, ""
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkBranch reports panicking uses of obj inside the branch where it
+// is known nil. Any reassignment of obj inside the branch silences the
+// whole branch (the simple, sound choice).
+func checkBranch(pass *analysis.Pass, guard *ast.Ident, body *ast.BlockStmt) {
+	obj := pass.TypesInfo.ObjectOf(guard)
+	if obj == nil {
+		return
+	}
+	reassigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					reassigned = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					reassigned = true // address escapes; value may change
+				}
+			}
+		}
+		return true
+	})
+	if reassigned {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // runs later, possibly after reassignment
+		}
+		if desc, pos := panicsOnNil(pass, n, obj); desc != "" {
+			pass.Reportf(pos, "nil dereference: %q is nil on this path (guarded at line %d): %s",
+				obj.Name(), pass.Fset.Position(guard.Pos()).Line, desc)
+			return false
+		}
+		return true
+	})
+}
+
+// panicsOnNil classifies one node as a use of obj that panics (or
+// permanently blocks) when obj is nil.
+func panicsOnNil(pass *analysis.Pass, n ast.Node, obj types.Object) (string, token.Pos) {
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.ObjectOf(id) == obj
+	}
+	t := obj.Type().Underlying()
+	switch n := n.(type) {
+	case *ast.StarExpr:
+		if isObj(n.X) {
+			return "explicit dereference", n.Pos()
+		}
+	case *ast.SelectorExpr:
+		if !isObj(n.X) {
+			return "", 0
+		}
+		sel := pass.TypesInfo.Selections[n]
+		if sel == nil {
+			return "", 0
+		}
+		switch {
+		case sel.Kind() == types.FieldVal && isPointer(t):
+			return "field access through nil pointer", n.Sel.Pos()
+		case sel.Kind() == types.MethodVal && types.IsInterface(obj.Type()):
+			return "method call on nil interface", n.Sel.Pos()
+		}
+	case *ast.IndexExpr:
+		if !isObj(n.X) {
+			return "", 0
+		}
+		switch t.(type) {
+		case *types.Slice:
+			return "index of nil slice", n.Pos()
+		case *types.Map:
+			// Reads of nil maps are legal; writes panic. The parent
+			// walk handles writes via AssignStmt below.
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isObj(ix.X) {
+				if _, isMap := pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+					return "write to nil map", ix.Pos()
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if isObj(n.Fun) {
+			if _, isFunc := t.(*types.Signature); isFunc {
+				return "call of nil function", n.Pos()
+			}
+		}
+	case *ast.SendStmt:
+		if isObj(n.Chan) {
+			return "send on nil channel blocks forever", n.Pos()
+		}
+	}
+	return "", 0
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.(*types.Pointer)
+	return ok
+}

@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"pnsched/tools/analysis/analysistest"
+	"pnsched/tools/analyzers/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, "testdata", nilness.Analyzer, "pnsched/internal/lib")
+}

@@ -1,0 +1,99 @@
+// Package lib is a nilness fixture.
+package lib
+
+type node struct {
+	next *node
+	val  int
+}
+
+type closer interface{ Close() error }
+
+func backwardsGuard(n *node) int {
+	if n == nil {
+		return n.val // want `nil dereference: "n" is nil on this path \(guarded at line 12\): field access through nil pointer`
+	}
+	return 0
+}
+
+func invertedElse(n *node) int {
+	if n != nil {
+		return n.val // fine: n is non-nil here
+	} else {
+		return n.val // want `nil dereference: "n" is nil on this path \(guarded at line 19\): field access through nil pointer`
+	}
+}
+
+func explicitDeref(p *int) int {
+	if p == nil {
+		return *p // want `nil dereference: "p" is nil on this path \(guarded at line 27\): explicit dereference`
+	}
+	return *p
+}
+
+func nilInterfaceCall(c closer) {
+	if c == nil {
+		_ = c.Close() // want `nil dereference: "c" is nil on this path \(guarded at line 34\): method call on nil interface`
+	}
+}
+
+func nilSliceIndex(s []int) int {
+	if s == nil {
+		return s[0] // want `nil dereference: "s" is nil on this path \(guarded at line 40\): index of nil slice`
+	}
+	return 0
+}
+
+func nilMapWrite(m map[string]int) {
+	if m == nil {
+		m["k"] = 1 // want `nil dereference: "m" is nil on this path \(guarded at line 47\): write to nil map`
+	}
+}
+
+func nilMapRead(m map[string]int) int {
+	if m == nil {
+		return m["k"] // reading a nil map is legal: quiet
+	}
+	return 0
+}
+
+func nilFuncCall(f func() int) int {
+	if f == nil {
+		return f() // want `nil dereference: "f" is nil on this path \(guarded at line 60\): call of nil function`
+	}
+	return f()
+}
+
+func nilChanSend(ch chan int) {
+	if ch == nil {
+		ch <- 1 // want `nil dereference: "ch" is nil on this path \(guarded at line 67\): send on nil channel blocks forever`
+	}
+}
+
+func reassignedFirst(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val // quiet: n was reassigned on this path
+	}
+	return n.val
+}
+
+func deferredClosure(n *node) func() int {
+	if n == nil {
+		return func() int { return n.val } // quiet: runs later, maybe after reassignment
+	}
+	return nil
+}
+
+func rightWayAround(n *node) int {
+	if n != nil {
+		return n.val // quiet: guard proves non-nil
+	}
+	return 0
+}
+
+func waived(n *node) int {
+	if n == nil {
+		return n.val //pnanalyze:ok nilness — exercising the panic path deliberately
+	}
+	return 0
+}

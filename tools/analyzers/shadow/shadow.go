@@ -1,0 +1,115 @@
+// Package shadow flags variable shadowing that can change behaviour:
+// an inner declaration reusing the name of a function-local variable
+// from an enclosing scope, where the outer variable is still read
+// after the inner scope ends. The classic instance is
+//
+//	x, err := f()
+//	if cond {
+//	    y, err := g()   // shadows err
+//	    ...
+//	}
+//	if err != nil { ... } // checks f's error, g's was dropped
+//
+// This is a standard-library-only reimplementation of the
+// golang.org/x/tools shadow vet analyzer (the stock multichecker
+// extra), restricted — like the original's sensible mode — to shadows
+// whose outer variable outlives the inner scope, which is the subset
+// that actually bites.
+package shadow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pnsched/tools/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: "flag shadowed variables whose outer binding is used afterwards\n\n" +
+		"An inner := reusing a function-local name silently splits one\n" +
+		"variable into two; when the outer one is read after the inner\n" +
+		"scope closes, the split is almost always a bug.",
+	NeedsTypes: true,
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Collect, per object, every use position — needed to decide
+	// whether a shadowed variable is read after the shadow's scope.
+	uses := make(map[types.Object][]*ast.Ident)
+	for id, obj := range pass.TypesInfo.Uses {
+		uses[obj] = append(uses[obj], id)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok.String() == ":=" {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							checkShadow(pass, id, uses)
+						}
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							checkShadow(pass, id, uses)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkShadow(pass *analysis.Pass, id *ast.Ident, uses map[types.Object][]*ast.Ident) {
+	if id.Name == "_" {
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		return
+	}
+	inner := obj.Parent()
+	if inner == nil || inner.Parent() == nil {
+		return
+	}
+	// Who would this name have referred to just outside the inner
+	// scope?
+	_, outer := inner.Parent().LookupParent(id.Name, id.Pos())
+	outerVar, ok := outer.(*types.Var)
+	if !ok || outerVar == obj {
+		return
+	}
+	// Only function-local shadows: shadowing a package-level or
+	// universe name (err'ing toward quiet) is idiomatic Go.
+	if outerVar.Parent() == nil ||
+		outerVar.Parent() == types.Universe ||
+		outerVar.Parent() == pass.Pkg.Scope() {
+		return
+	}
+	if outerVar.IsField() {
+		return
+	}
+	// The shadow bites only if the outer variable is read after the
+	// inner scope ends.
+	usedAfter := false
+	for _, use := range uses[outerVar] {
+		if use.Pos() > inner.End() {
+			usedAfter = true
+			break
+		}
+	}
+	if !usedAfter {
+		return
+	}
+	pass.Reportf(id.Pos(),
+		"declaration of %q shadows declaration at %s, and the shadowed variable "+
+			"is used after this scope ends: assignments here are silently lost",
+		id.Name, pass.Fset.Position(outerVar.Pos()))
+}

@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"pnsched/tools/analysis/analysistest"
+	"pnsched/tools/analyzers/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "testdata", shadow.Analyzer, "pnsched/internal/lib")
+}

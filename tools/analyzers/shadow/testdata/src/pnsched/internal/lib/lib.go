@@ -1,0 +1,71 @@
+// Package lib is a shadow fixture.
+package lib
+
+import "errors"
+
+func f() (int, error) { return 1, nil }
+func g() (int, error) { return 2, nil }
+
+func droppedError(cond bool) error {
+	x, err := f()
+	if cond {
+		y, err := g() // want `declaration of "err" shadows declaration at .*lib\.go:10:5`
+		_ = y
+		_ = err
+	}
+	_ = x
+	return err // this is f's error; g's was silently dropped
+}
+
+func shadowNotUsedAfter(cond bool) {
+	v, err := f()
+	_ = v
+	_ = err
+	if cond {
+		w, err := g() // outer err never read after this scope: quiet
+		_, _ = w, err
+	}
+}
+
+func freshNames(cond bool) error {
+	x, err := f()
+	if cond {
+		y, err2 := g() // different name: quiet
+		_, _ = y, err2
+	}
+	_ = x
+	return err
+}
+
+var pkgLevel = 3
+
+func shadowPackageLevel() int {
+	pkgLevel := 7 // package-level shadowing is idiomatic: quiet
+	return pkgLevel
+}
+
+func shadowUniverse() int {
+	len := 4 // universe shadowing: quiet (vet's stock checkers cover taste)
+	return len
+}
+
+func varDeclShadow(cond bool) error {
+	x, err := f()
+	if cond {
+		var err error // want `declaration of "err" shadows declaration at .*lib\.go:53:5`
+		err = errors.New("inner")
+		_ = err
+	}
+	_ = x
+	return err
+}
+
+func waived(cond bool) error {
+	x, err := f()
+	if cond {
+		y, err := g() //pnanalyze:ok shadow — reviewed: inner err handled inline
+		_, _ = y, err
+	}
+	_ = x
+	return err
+}

@@ -1,0 +1,194 @@
+// Package sloghygiene keeps structured logging structured. Two rules:
+//
+//  1. In slog calls carrying key/value pairs (slog.Info, Logger.Warn,
+//     Logger.Log, With, Group, ...), the trailing arguments must pair
+//     up — an odd argument silently becomes a !BADKEY attr at runtime —
+//     and every key must be a constant string, so log lines stay
+//     greppable and the set of keys is auditable from the source.
+//     slog.Attr-typed arguments count as one unit.
+//
+//  2. Library packages (anything that is not package main and not a
+//     test) must not write through fmt.Print/Printf/Println or the
+//     legacy log package: the repo's logging contract is log/slog
+//     behind an injectable *slog.Logger, and a stray fmt.Print in a
+//     library corrupts machine-read output (pnbench -json, the wire).
+package sloghygiene
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"pnsched/tools/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sloghygiene",
+	Doc: "check slog key/value pairing and ban fmt/log printing in libraries\n\n" +
+		"slog calls must pass matched constant-string keys and values\n" +
+		"(slog.Attr counts as one unit); non-main, non-test packages must\n" +
+		"log through log/slog, not fmt.Print* or log.Print*.",
+	NeedsTypes: true,
+	Run:        run,
+}
+
+// kvStart maps a slog function name to the index of its first
+// key/value argument (after message, context, level...).
+var kvStart = map[string]int{
+	"Debug": 1, "Info": 1, "Warn": 1, "Error": 1,
+	"DebugContext": 2, "InfoContext": 2, "WarnContext": 2, "ErrorContext": 2,
+	"Log":   3, // (ctx, level, msg, args...)
+	"With":  0,
+	"Group": 1, // (key, args...)
+}
+
+// bannedPrinters in library packages.
+var bannedPrinters = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	isLibrary := pass.Pkg != nil && pass.Pkg.Name() != "main"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if isSlogCall(fn) {
+				checkPairs(pass, call, fn)
+			}
+			if isLibrary {
+				if names := bannedPrinters[fn.Pkg().Path()]; names[fn.Name()] && isPackageLevel(fn) {
+					pass.Reportf(call.Pos(),
+						"%s.%s in library package %s: libraries log through the injected "+
+							"*slog.Logger, never directly to stdout/stderr",
+						fn.Pkg().Name(), fn.Name(), pass.Path)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isSlogCall reports whether fn is a key/value-carrying slog API:
+// a package-level log/slog function or a method on slog.Logger.
+func isSlogCall(fn *types.Func) bool {
+	if _, ok := kvStart[fn.Name()]; !ok {
+		return false
+	}
+	if fn.Pkg().Path() == "log/slog" && isPackageLevel(fn) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "log/slog" && obj.Name() == "Logger"
+}
+
+func checkPairs(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func) {
+	if call.Ellipsis.IsValid() {
+		return // args... pass-through: pairing decided elsewhere
+	}
+	start := kvStart[fn.Name()]
+	if len(call.Args) <= start {
+		return
+	}
+	args := call.Args[start:]
+	for i := 0; i < len(args); {
+		if isAttr(pass, args[i]) {
+			i++
+			continue
+		}
+		// args[i] is a key: must be a constant string.
+		tv, ok := pass.TypesInfo.Types[args[i]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(args[i].Pos(),
+				"slog key must be a constant string so log lines stay greppable "+
+					"(got %s)", describeArg(pass, args[i]))
+		}
+		if i+1 >= len(args) {
+			pass.Reportf(args[i].Pos(),
+				"odd number of arguments to %s.%s: key %s has no value "+
+					"(it would log as !BADKEY)", callerName(fn), fn.Name(), keyLabel(pass, args[i]))
+			return
+		}
+		i += 2
+	}
+}
+
+func callerName(fn *types.Func) string {
+	if isPackageLevel(fn) {
+		return "slog"
+	}
+	return "Logger"
+}
+
+func isAttr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "log/slog" && obj.Name() == "Attr"
+}
+
+// keyLabel shows a key by its constant value when it has one, else by
+// its type.
+func keyLabel(pass *analysis.Pass, e ast.Expr) string {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return tv.Value.ExactString()
+	}
+	return describeArg(pass, e)
+}
+
+func describeArg(pass *analysis.Pass, e ast.Expr) string {
+	if t := pass.TypesInfo.TypeOf(e); t != nil {
+		return strings.TrimPrefix(t.String(), "untyped ")
+	}
+	return "non-string"
+}

@@ -1,0 +1,15 @@
+package sloghygiene_test
+
+import (
+	"testing"
+
+	"pnsched/tools/analysis/analysistest"
+	"pnsched/tools/analyzers/sloghygiene"
+)
+
+func TestSlogHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", sloghygiene.Analyzer,
+		"pnsched/internal/lib",
+		"pnsched/cmd/tool",
+	)
+}

@@ -1,0 +1,14 @@
+// Command tool is a sloghygiene fixture: package main may print to
+// stdout — that IS its interface — but pairing rules still apply.
+package main
+
+import (
+	"fmt"
+	"log/slog"
+)
+
+func main() {
+	fmt.Println("results: 42")     // binaries own their stdout: fine
+	slog.Info("done", "tasks", 42) // fine
+	slog.Info("done", "tasks")     // want `odd number of arguments to slog\.Info`
+}

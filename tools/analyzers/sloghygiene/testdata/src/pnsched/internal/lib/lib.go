@@ -1,0 +1,39 @@
+// Package lib is a sloghygiene fixture: a library package, so both
+// the pairing rules and the printer ban apply.
+package lib
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"log/slog"
+)
+
+func pairs(l *slog.Logger, err error, n int) {
+	slog.Info("batch decided", "tasks", n, "err", err)       // fine
+	slog.Info("batch decided", "tasks")                      // want `odd number of arguments to slog\.Info: key "tasks" has no value`
+	l.Warn("queue full", "dropped", n, "watcher")            // want `odd number of arguments to Logger\.Warn: key "watcher" has no value`
+	l.Error("decode failed", err)                            // want `slog key must be a constant string` `odd number of arguments to Logger\.Error`
+	slog.Info("sized", slog.Int("n", n), "cap", 4)           // Attr counts as one unit: fine
+	l.Log(context.Background(), slog.LevelInfo, "m", "k", 1) // fine
+	l.Log(context.Background(), slog.LevelInfo, "m", "k")    // want `odd number of arguments to Logger\.Log: key "k" has no value`
+	key := "dynamic"
+	slog.Info("msg", key, n) // want `slog key must be a constant string so log lines stay greppable \(got string\)`
+	const stable = "worker"
+	slog.Info("msg", stable, n) // typed constants are constant: fine
+	slog.With("component", "dist").Info("ok")
+}
+
+func forward(l *slog.Logger, args ...any) {
+	l.Info("relay", args...) // pass-through: pairing is the caller's problem
+}
+
+func printers() {
+	fmt.Println("progress 50%")  // want `fmt\.Println in library package pnsched/internal/lib`
+	fmt.Printf("done %d\n", 1)   // want `fmt\.Printf in library package pnsched/internal/lib`
+	log.Printf("legacy %d", 2)   // want `log\.Printf in library package pnsched/internal/lib`
+	log.Fatal("boom")            // want `log\.Fatal in library package pnsched/internal/lib`
+	fmt.Println("waived")        //pnanalyze:ok sloghygiene — reviewed exception proving suppression
+	_ = fmt.Sprint("fine")       // Sprint family never banned
+	fmt.Fprintf(nil, "explicit") // explicit writer: fine
+}

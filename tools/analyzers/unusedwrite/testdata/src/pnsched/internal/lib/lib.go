@@ -1,0 +1,91 @@
+// Package lib is an unusedwrite fixture.
+package lib
+
+type server struct {
+	done  bool
+	count int
+}
+
+// Value receiver: the write mutates a copy that is dropped on return.
+func (s server) close() {
+	s.done = true // want `write to field done of value receiver "s" is never observed: it mutates a copy \(did this need a pointer\?\)`
+}
+
+// Pointer receiver: the write is observed by the caller. Quiet.
+func (s *server) closePtr() {
+	s.done = true
+}
+
+// Parameter passed by value: same copy bug.
+func reset(s server) {
+	s.count = 0 // want `write to field count of parameter \(passed by value\) "s" is never observed: it mutates a copy \(did this need a pointer\?\)`
+}
+
+// Local copy, never used after the write.
+func localCopy(src *server) {
+	tmp := *src
+	tmp.count = 9 // want `write to field count of local copy "tmp" is never observed: it mutates a copy \(did this need a pointer\?\)`
+}
+
+// The copy IS read after the write: the write matters. Quiet.
+func copyThenUse(src *server) int {
+	tmp := *src
+	tmp.count = 9
+	return tmp.count
+}
+
+// Address taken: aliasing defeats syntactic reasoning. Quiet.
+func escapes(s server) *server {
+	s.done = true
+	return &s
+}
+
+// Captured by a closure: quiet.
+func captured(s server) func() bool {
+	s.done = true
+	return func() bool { return s.done }
+}
+
+// Writes inside loops are skipped (positions do not model re-execution).
+func inLoop(items []server) {
+	for _, it := range items {
+		it.count = 0 // loop-local copy; out of scope for this checker
+	}
+}
+
+func deadStore() int {
+	x := 1
+	y := x // consume the initial store
+	x = 2  // want `value stored to "x" is never read: overwritten at line 60 before any use`
+	x = 3
+	return x + y
+}
+
+func storeThenRead() int {
+	x := 1
+	y := x // read consumes the pending store
+	x = 2
+	return x + y
+}
+
+func storeAcrossBranch(cond bool) int {
+	x := 1
+	if cond { // control flow ends the straight line
+		x = 2
+	}
+	return x
+}
+
+func opAssignReads() int {
+	x := 1
+	x += 2 // += reads x: quiet
+	return x
+}
+
+func waivedStore() int {
+	x := 1
+	y := x
+	x = 2 //pnanalyze:ok unusedwrite — keeping the staged value for clarity
+	x = 3
+	return x + y
+}

@@ -1,0 +1,272 @@
+// Package unusedwrite flags writes whose value can never be observed —
+// the stdlib-only counterpart of the SSA-based x/tools unusedwrite
+// vet extra, restricted to the two shapes it can prove syntactically:
+//
+//  1. Writes to a field of a non-pointer local (parameter, value
+//     receiver, or local copy) that is never used again: the write
+//     mutates a copy and is lost. `func (s Server) close() { s.done =
+//     true }` is the canonical bug — the method needed a pointer
+//     receiver.
+//
+//  2. Straight-line dead stores: `x = a` immediately overwritten by
+//     `x = b` in the same block with no read, branch, call-out via
+//     closure, or address-taking in between.
+package unusedwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pnsched/tools/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc: "flag writes that are provably never observed\n\n" +
+		"Field writes through a value copy that is never read again\n" +
+		"(pointer receiver forgotten), and straight-line stores overwritten\n" +
+		"before any read.",
+	NeedsTypes: true,
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Variables whose address is taken or that a closure captures are
+	// beyond syntactic reasoning: exclude them from both checks.
+	escaped := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	checkCopyWrites(pass, fd, escaped)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if block, ok := n.(*ast.BlockStmt); ok {
+			checkDeadStores(pass, block, escaped)
+		}
+		return true
+	})
+}
+
+// checkCopyWrites flags `v.f = x` where v is a non-pointer struct
+// local never used after the write: the write lands on a copy.
+func checkCopyWrites(pass *analysis.Pass, fd *ast.FuncDecl, escaped map[types.Object]bool) {
+	// Last use position of each object in the function.
+	lastUse := make(map[types.Object]token.Pos)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if id.Pos() > lastUse[obj] {
+					lastUse[obj] = id.Pos()
+				}
+			}
+		}
+		return true
+	})
+	// Loops re-run earlier text, breaking position reasoning: note
+	// every loop span and skip writes inside one.
+	var loops []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() <= pos && pos <= l.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || obj.IsField() || escaped[obj] || obj.Pkg() != pass.Pkg {
+				continue
+			}
+			// Function-local non-pointer struct value only.
+			if obj.Parent() == pass.Pkg.Scope() {
+				continue
+			}
+			if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if _, isStruct := obj.Type().Underlying().(*types.Struct); !isStruct {
+				continue
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				continue
+			}
+			if inLoop(assign.Pos()) {
+				continue
+			}
+			if lastUse[obj] > assign.End() {
+				continue // the copy is read later; the write may matter
+			}
+			what := "local copy"
+			if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 &&
+				pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]] == types.Object(obj) {
+				what = "value receiver"
+			} else if isParam(fd, pass, obj) {
+				what = "parameter (passed by value)"
+			}
+			pass.Reportf(sel.Pos(),
+				"write to field %s of %s %q is never observed: it mutates a copy "+
+					"(did this need a pointer?)", sel.Sel.Name, what, obj.Name())
+		}
+		return true
+	})
+}
+
+func isParam(fd *ast.FuncDecl, pass *analysis.Pass, obj types.Object) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if pass.TypesInfo.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkDeadStores flags x = a; x = b with no read of x in between,
+// within one block's straight-line statement list.
+func checkDeadStores(pass *analysis.Pass, block *ast.BlockStmt, escaped map[types.Object]bool) {
+	// pending[obj] = the assignment whose value is so far unread.
+	type write struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var pending []write
+	drop := func(obj types.Object) {
+		for i := range pending {
+			if pending[i].obj == obj {
+				pending = append(pending[:i], pending[i+1:]...)
+				return
+			}
+		}
+	}
+	clearAll := func() { pending = nil }
+	readsIn := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					drop(obj)
+				}
+			}
+			return true
+		})
+	}
+	for _, stmt := range block.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		// Any control flow, call with side effects on locals via
+		// closures, defer, etc. ends the straight line.
+		if !ok {
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				readsIn(s)
+				continue
+			case *ast.IncDecStmt:
+				readsIn(s)
+				continue
+			default:
+				clearAll()
+				readsIn(stmt)
+				continue
+			}
+		}
+		// Reads on the RHS (and in index/selector expressions of the
+		// LHS) consume pending writes first.
+		for _, rhs := range assign.Rhs {
+			readsIn(rhs)
+		}
+		for _, lhs := range assign.Lhs {
+			if _, isIdent := ast.Unparen(lhs).(*ast.Ident); !isIdent {
+				readsIn(lhs)
+			}
+		}
+		if assign.Tok.String() != "=" && assign.Tok.String() != ":=" {
+			// +=, -=, ... read their LHS.
+			for _, lhs := range assign.Lhs {
+				readsIn(lhs)
+			}
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil || escaped[obj] {
+				continue
+			}
+			if v, isVar := obj.(*types.Var); !isVar || v.Parent() == pass.Pkg.Scope() {
+				continue
+			}
+			for _, p := range pending {
+				if p.obj == obj && assign.Tok.String() == "=" && len(assign.Lhs) == 1 {
+					pass.Reportf(p.pos,
+						"value stored to %q is never read: overwritten at line %d "+
+							"before any use", obj.Name(), pass.Fset.Position(assign.Pos()).Line)
+				}
+			}
+			drop(obj)
+			if len(assign.Lhs) == 1 {
+				pending = append(pending, write{id.Pos(), obj})
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package unusedwrite_test
+
+import (
+	"testing"
+
+	"pnsched/tools/analysis/analysistest"
+	"pnsched/tools/analyzers/unusedwrite"
+)
+
+func TestUnusedwrite(t *testing.T) {
+	analysistest.Run(t, "testdata", unusedwrite.Analyzer, "pnsched/internal/lib")
+}

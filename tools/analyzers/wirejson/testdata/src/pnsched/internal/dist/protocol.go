@@ -1,0 +1,51 @@
+// Package dist is a wirejson fixture shaped like the real
+// protocol.go: versioned frames where every exported field must carry
+// its tag.
+package dist
+
+// frame is a wire struct (it has json tags), so every exported field
+// needs one.
+type frame struct {
+	Type    string `json:"type"`
+	Seq     uint64 `json:"seq"`
+	Dropped uint64 // want `exported field Dropped of wire struct frame lacks an explicit json tag`
+	kind    string `json:"kind"` // want `json tag "kind" on unexported field kind of wire struct frame is dead`
+	n       int    // unexported, untagged: fine
+}
+
+// welcome is fully tagged: quiet.
+type welcome struct {
+	Proto string `json:"proto"`
+	Seq   uint64 `json:"seq,omitempty"`
+	Skip  string `json:"-"`
+}
+
+// embeddedWire embeds an exported type without retagging it.
+type embeddedWire struct {
+	Version int `json:"version"`
+	Payload     // want `embedded field Payload of wire struct embeddedWire lacks an explicit json tag`
+}
+
+// Payload is the embedded half of embeddedWire.
+type Payload struct {
+	Body string `json:"body"`
+}
+
+// plain carries no json tags at all: not a serialization struct, so
+// untagged exported fields are fine.
+type plain struct {
+	Name  string
+	Count int
+}
+
+// waived proves suppression.
+type waived struct {
+	A string `json:"a"`
+	B string //pnanalyze:ok wirejson — internal-only mirror, never encoded
+}
+
+var _ = frame{}
+var _ = welcome{}
+var _ = embeddedWire{}
+var _ = plain{}
+var _ = waived{}

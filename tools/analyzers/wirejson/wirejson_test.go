@@ -1,0 +1,12 @@
+package wirejson_test
+
+import (
+	"testing"
+
+	"pnsched/tools/analysis/analysistest"
+	"pnsched/tools/analyzers/wirejson"
+)
+
+func TestWireJSON(t *testing.T) {
+	analysistest.Run(t, "testdata", wirejson.Analyzer, "pnsched/internal/dist")
+}

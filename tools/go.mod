@@ -1,0 +1,3 @@
+module pnsched/tools
+
+go 1.24
