@@ -1,0 +1,243 @@
+// Command pnjobs is the client for the multi-tenant job dispatcher
+// (pnserver -jobs, protocol 1.3). It submits jobs — a workload plus a
+// per-job scheduler spec, tenant and priority — and queries, waits on,
+// and cancels them over the wire.
+//
+// Usage:
+//
+//	pnjobs [-addr host:port] <command> [flags]
+//
+//	pnjobs submit -tenant gold -priority 2 -tasks 200 -wait
+//	pnjobs submit -sched '{"name":"PN","generations":500}' -workload w.json
+//	pnjobs status job-0001
+//	pnjobs queue
+//	pnjobs cancel job-0001
+//	pnjobs result job-0001
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"pnsched"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9000", "dispatcher address")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "submit":
+		err = submitCmd(ctx, *addr, rest)
+	case "status":
+		err = statusCmd(ctx, *addr, rest)
+	case "queue":
+		err = queueCmd(ctx, *addr, rest)
+	case "cancel":
+		err = cancelCmd(ctx, *addr, rest)
+	case "result":
+		err = resultCmd(ctx, *addr, rest)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pnjobs:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: pnjobs [-addr host:port] <command> [flags]
+
+commands:
+  submit   submit a job (generated or -workload tasks, optional -sched spec)
+  status   print one job's state (pnjobs status <job-id>)
+  queue    list every job the dispatcher retains
+  cancel   cancel a queued or running job (pnjobs cancel <job-id>)
+  result   print a terminal job's outcome (pnjobs result <job-id>)
+
+run 'pnjobs <command> -h' for the command's flags.
+`)
+}
+
+// submitCmd builds one job from its flags and submits it, optionally
+// blocking until it reaches a terminal state.
+func submitCmd(ctx context.Context, addr string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	tenant := fs.String("tenant", "", "submitting tenant (empty: the dispatcher default)")
+	priority := fs.Int("priority", 0, "admission priority under the priority policy (higher first)")
+	schedJSON := fs.String("sched", "", `scheduler spec JSON, e.g. '{"name":"PN","generations":500}' (empty: the PN defaults)`)
+	nTasks := fs.Int("tasks", 200, "tasks to generate (ignored with -workload)")
+	lo := fs.Float64("lo", 10, "generated task size lower bound, MFLOPs")
+	hi := fs.Float64("hi", 1000, "generated task size upper bound, MFLOPs")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	wlFile := fs.String("workload", "", "load tasks from a pnworkload JSON file instead of generating")
+	retry := fs.Int("retry-budget", -1, "per-job task-reissue budget (-1: the dispatcher default)")
+	wait := fs.Bool("wait", false, "block until the job reaches a terminal state")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("submit takes no arguments, got %q", fs.Args())
+	}
+
+	req := pnsched.JobRequest{Tenant: *tenant, Priority: *priority}
+	if *schedJSON != "" {
+		if err := json.Unmarshal([]byte(*schedJSON), &req.Scheduler); err != nil {
+			return fmt.Errorf("-sched: %w", err)
+		}
+	}
+	if *retry >= 0 {
+		req.RetryBudget = retry
+	}
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		if err != nil {
+			return err
+		}
+		req.Tasks, err = pnsched.ReadTasks(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		req.Tasks = pnsched.GenerateTasks(*nTasks,
+			pnsched.Uniform{Lo: pnsched.MFlops(*lo), Hi: pnsched.MFlops(*hi)}, pnsched.NewRNG(*seed))
+	}
+
+	info, err := pnsched.SubmitJob(ctx, addr, req)
+	if err != nil {
+		return err
+	}
+	printInfo(info)
+	if !*wait {
+		return nil
+	}
+	for info.State == pnsched.JobQueued || info.State == pnsched.JobRunning {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(500 * time.Millisecond):
+		}
+		if info, err = pnsched.JobStatus(ctx, addr, info.ID); err != nil {
+			return err
+		}
+	}
+	printInfo(info)
+	if info.State == pnsched.JobDone {
+		res, err := pnsched.FetchResult(ctx, addr, info.ID)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+	}
+	if info.State != pnsched.JobDone {
+		return fmt.Errorf("job %s ended %s", info.ID, info.State)
+	}
+	return nil
+}
+
+func statusCmd(ctx context.Context, addr string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pnjobs status <job-id>")
+	}
+	info, err := pnsched.JobStatus(ctx, addr, args[0])
+	if err != nil {
+		return err
+	}
+	printInfo(info)
+	return nil
+}
+
+func queueCmd(ctx context.Context, addr string, args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: pnjobs queue")
+	}
+	jobs, err := pnsched.JobQueue(ctx, addr)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Println("no jobs")
+		return nil
+	}
+	fmt.Printf("%-10s %-12s %-10s %-10s %5s %10s %9s %8s\n",
+		"ID", "TENANT", "STATE", "SCHEDULER", "PRIO", "DONE/TASKS", "RETRIES", "WORKERS")
+	for _, j := range jobs {
+		pos := ""
+		if j.Position > 0 {
+			pos = fmt.Sprintf("  #%d in queue", j.Position)
+		}
+		fmt.Printf("%-10s %-12s %-10s %-10s %5d %5d/%-4d %9d %8d%s\n",
+			j.ID, j.Tenant, j.State, j.Scheduler, j.Priority,
+			j.Completed, j.Tasks, j.Retries, j.Workers, pos)
+	}
+	return nil
+}
+
+func cancelCmd(ctx context.Context, addr string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pnjobs cancel <job-id>")
+	}
+	info, err := pnsched.CancelJob(ctx, addr, args[0])
+	if err != nil {
+		return err
+	}
+	printInfo(info)
+	return nil
+}
+
+func resultCmd(ctx context.Context, addr string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pnjobs result <job-id>")
+	}
+	res, err := pnsched.FetchResult(ctx, addr, args[0])
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	return nil
+}
+
+func printInfo(info pnsched.JobInfo) {
+	fmt.Printf("%s  tenant=%s state=%s scheduler=%s %d/%d tasks",
+		info.ID, info.Tenant, info.State, info.Scheduler, info.Completed, info.Tasks)
+	if info.Position > 0 {
+		fmt.Printf(" position=%d", info.Position)
+	}
+	if info.Workers > 0 {
+		fmt.Printf(" workers=%d", info.Workers)
+	}
+	if info.Retries > 0 {
+		fmt.Printf(" retries=%d/%d", info.Retries, info.RetryBudget)
+	}
+	if info.Error != "" {
+		fmt.Printf(" error=%q", info.Error)
+	}
+	fmt.Println()
+}
+
+func printResult(res pnsched.JobResult) {
+	fmt.Printf("%s  tenant=%s state=%s: %d/%d tasks, %d retries, %.2fs elapsed (simulated), %.2fs wall\n",
+		res.ID, res.Tenant, res.State, res.Completed, res.Tasks, res.Retries, res.Elapsed, res.Duration)
+	if res.Error != "" {
+		fmt.Printf("  error: %s\n", res.Error)
+	}
+	for _, w := range res.Workers {
+		fmt.Printf("  %-20s %6d tasks  %12.1f MFLOPs\n", w.Name, w.Tasks, w.Work)
+	}
+}

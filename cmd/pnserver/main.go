@@ -13,6 +13,13 @@
 // an HTTP admin endpoint (/metrics in Prometheus text format,
 // /healthz, /debug/pprof/).
 //
+// With -jobs it instead runs the multi-tenant job dispatcher
+// (protocol 1.3): a persistent service with no workload of its own
+// that accepts jobs over the wire — each carrying its own scheduler
+// spec, tenant and priority — admits them under -policy, and leases
+// the connected workers to the active job. Jobs are submitted and
+// managed with the pnjobs command.
+//
 // Usage:
 //
 //	pnserver -listen :9000 -admin :9090 -tasks 500 &
@@ -23,6 +30,10 @@
 //	pnserver -trace localhost:9000
 //	curl localhost:9090/metrics
 //	pnserver -schedulers
+//
+//	pnserver -jobs -listen :9000 -policy fair -weights 'gold=3,free=1' &
+//	pnworker -connect localhost:9000 -rate 100 &
+//	pnjobs -addr localhost:9000 submit -tenant gold -tasks 200 -wait
 package main
 
 import (
@@ -33,6 +44,8 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"pnsched"
@@ -56,6 +69,12 @@ func main() {
 		migrants = flag.Int("migrants", 0, "elites exchanged per island migration (0: default)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+
+		jobsMode  = flag.Bool("jobs", false, "run the multi-tenant job dispatcher instead of serving one workload")
+		policy    = flag.String("policy", "fifo", "job admission policy: fifo, priority, or fair (with -jobs)")
+		weights   = flag.String("weights", "", "fair-share tenant weights as tenant=weight,... (with -jobs -policy fair)")
+		maxActive = flag.Int("max-active", 0, "concurrently running jobs; 0 keeps the default of 1 (with -jobs)")
+		retry     = flag.Int("retry-budget", 0, "default per-job task-reissue budget; 0 keeps the package default (with -jobs)")
 	)
 	flag.Parse()
 
@@ -73,6 +92,10 @@ func main() {
 	}
 	if *watch != "" {
 		watchMain(*watch)
+		return
+	}
+	if *jobsMode {
+		jobsMain(*listen, *admin, *policy, *weights, *maxActive, *retry, *quiet)
 		return
 	}
 
@@ -184,6 +207,86 @@ func main() {
 	}
 }
 
+// jobsMain runs the multi-tenant job dispatcher until interrupted:
+// workers connect exactly as they do to the single-workload server,
+// and jobs arrive over the wire from pnjobs clients.
+func jobsMain(listen, admin, policy, weights string, maxActive, retry int, quiet bool) {
+	level := slog.LevelInfo
+	if quiet {
+		level = slog.LevelWarn
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+	life := logger
+	if quiet {
+		life = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	opts := []pnsched.JobsOption{
+		pnsched.WithJobsListenAddr(listen),
+		pnsched.WithJobsLog(logger),
+		pnsched.WithAdmissionPolicy(pnsched.AdmissionPolicy(policy)),
+	}
+	if weights != "" {
+		for _, pair := range strings.Split(weights, ",") {
+			tenant, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				fatal(fmt.Errorf("-weights %q: want tenant=weight,...", weights))
+			}
+			w, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				fatal(fmt.Errorf("-weights %q: %v", weights, err))
+			}
+			opts = append(opts, pnsched.WithTenantWeight(tenant, w))
+		}
+	}
+	if maxActive > 0 {
+		opts = append(opts, pnsched.WithMaxActiveJobs(maxActive))
+	}
+	if retry > 0 {
+		opts = append(opts, pnsched.WithJobRetryBudget(retry))
+	}
+	if admin != "" {
+		opts = append(opts, pnsched.WithJobsAdminAddr(admin))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	svc, err := pnsched.ServeJobs(ctx, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer svc.Close()
+	logArgs := []any{"addr", svc.Addr(), "policy", policy}
+	if a := svc.AdminAddr(); a != nil {
+		logArgs = append(logArgs, "admin", a)
+	}
+	life.Info("pnserver job dispatcher listening", logArgs...)
+
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			snap := svc.Snapshot()
+			if j := snap.Jobs; j != nil {
+				life.Info("pnserver dispatcher shutting down",
+					"done", j.Done, "failed", j.Failed, "cancelled", j.Cancelled,
+					"queued", j.Queued, "running", j.Running)
+			}
+			return
+		case <-tick.C:
+			snap := svc.Snapshot()
+			if j := snap.Jobs; j != nil {
+				slog.Info("dispatcher progress",
+					"queued", j.Queued, "running", j.Running,
+					"done", j.Done, "failed", j.Failed, "cancelled", j.Cancelled,
+					"workers", len(snap.Workers), "tasks_running", snap.Running)
+			}
+		}
+	}
+}
+
 // watchMain subscribes to a running server's event stream and prints
 // every event until the server closes or the process is interrupted,
 // with a stats snapshot line every few seconds.
@@ -220,6 +323,18 @@ func watchMain(addr string) {
 		WorkerLeft: func(e pnsched.WorkerLeftEvent) {
 			slog.Info("worker left", "worker", e.Name, "reissued", e.Reissued, "workers", e.Workers)
 		},
+		JobQueued: func(e pnsched.JobQueuedEvent) {
+			slog.Info("job queued", "job", e.ID, "tenant", e.Tenant,
+				"priority", e.Priority, "tasks", e.Tasks, "queued", e.Queued)
+		},
+		JobStarted: func(e pnsched.JobStartedEvent) {
+			slog.Info("job started", "job", e.ID, "tenant", e.Tenant,
+				"workers", e.Workers, "waited", float64(e.Waited))
+		},
+		JobDone: func(e pnsched.JobDoneEvent) {
+			slog.Info("job "+e.State, "job", e.ID, "tenant", e.Tenant,
+				"completed", e.Completed, "retries", e.Retries, "duration", float64(e.Duration))
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -239,11 +354,16 @@ func watchMain(addr string) {
 				}
 				continue
 			}
-			slog.Info("server stats",
+			args := []any{
 				"completed", snap.Completed, "submitted", snap.Submitted,
 				"pending", snap.Pending, "running", snap.Running,
-				"workers", len(snap.Workers), "p50_dispatch", time.Duration(float64(snap.Latency.P50)*float64(time.Second)),
-				"uptime", time.Duration(float64(snap.Uptime)*float64(time.Second)).Round(time.Second))
+				"workers", len(snap.Workers), "p50_dispatch", time.Duration(float64(snap.Latency.P50) * float64(time.Second)),
+				"uptime", time.Duration(float64(snap.Uptime) * float64(time.Second)).Round(time.Second),
+			}
+			if j := snap.Jobs; j != nil {
+				args = append(args, "jobs_queued", j.Queued, "jobs_running", j.Running, "jobs_done", j.Done)
+			}
+			slog.Info("server stats", args...)
 		}
 	}()
 
@@ -305,6 +425,10 @@ func statsMain(addr string) {
 	fmt.Printf("server %s up %v\n", addr, time.Duration(float64(snap.Uptime)*float64(time.Second)).Round(time.Millisecond))
 	fmt.Printf("tasks: %d submitted, %d completed, %d reissued, %d pending, %d running (%d batches)\n",
 		snap.Submitted, snap.Completed, snap.Reissued, snap.Pending, snap.Running, snap.Batches)
+	if j := snap.Jobs; j != nil {
+		fmt.Printf("jobs: %d queued, %d running, %d done, %d failed, %d cancelled\n",
+			j.Queued, j.Running, j.Done, j.Failed, j.Cancelled)
+	}
 	if snap.Latency.Samples > 0 {
 		fmt.Printf("dispatch latency (last %d): p50 %v  p90 %v  p99 %v\n",
 			snap.Latency.Samples, snap.Latency.P50, snap.Latency.P90, snap.Latency.P99)

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"log/slog"
+	"net"
+
+	"pnsched/internal/task"
+)
+
+// This file is the package's surface for sibling runtimes — today the
+// job dispatcher (internal/jobs) — that speak the same wire protocol
+// without living inside this package. The protocol types stay
+// unexported (their lowercase names are what the docs-drift gate and
+// the wire spec key on); aliases and thin wrappers re-export exactly
+// what a sibling server needs: the envelope, framing, task conversion,
+// and the watch-serving loop.
+
+// Message is the control envelope of the JSON-lines protocol — the
+// exported name of the message type, for sibling runtimes building and
+// decoding frames.
+type Message = message
+
+// EventFrame is the versioned wire form of one Observer event.
+type EventFrame = eventFrame
+
+// WireVersion is the protocol version stamp carried on handshakes and
+// replies.
+type WireVersion = wireVersion
+
+// WireTask is the on-the-wire form of one task.
+type WireTask = wireTask
+
+// Exported message-type constants, aliasing the wire grammar.
+const (
+	MsgHello     = msgHello
+	MsgAssign    = msgAssign
+	MsgDone      = msgDone
+	MsgWatch     = msgWatch
+	MsgWelcome   = msgWelcome
+	MsgEvent     = msgEvent
+	MsgStats     = msgStats
+	MsgTrace     = msgTrace
+	MsgJobSubmit = msgJobSubmit
+	MsgJobStatus = msgJobStatus
+	MsgJobCancel = msgJobCancel
+	MsgJobResult = msgJobResult
+)
+
+// ReadFrame reads one newline-terminated frame, enforcing the
+// protocol's frame bound. See readFrame.
+func ReadFrame(br *bufio.Reader) ([]byte, error) { return readFrame(br) }
+
+// DecodeWireMessage parses and validates one wire frame; exactly one
+// of the returns is non-nil on success, and unknown frame types decode
+// to (nil, nil, nil). See decodeWireMessage.
+func DecodeWireMessage(line []byte) (*Message, *eventFrame, error) {
+	return decodeWireMessage(line)
+}
+
+// TasksToWire converts tasks to their wire form.
+func TasksToWire(ts []task.Task) []WireTask { return toWire(ts) }
+
+// TasksFromWire converts wire tasks back to tasks.
+func TasksFromWire(ws []WireTask) []task.Task { return fromWire(ws) }
+
+// IsClosedErr reports whether err is the normal teardown of a
+// connection rather than a protocol failure.
+func IsClosedErr(err error) bool { return isClosedErr(err) }
+
+// Close terminates every subscription and marks the broadcaster
+// closed; subsequent subscriptions are stillborn. For sibling runtimes
+// shutting down a broadcaster they own (a dist.Server closes its own
+// internally).
+func (b *Broadcaster) Close() { b.closeAll() }
+
+// ToWire converts the snapshot to its stats-reply wire form.
+func (s Snapshot) ToWire() *wireStats { return s.toWire() }
+
+// ServeWatch runs one already-handshaken watch client against a
+// broadcaster: it subscribes, sends the versioned welcome, and streams
+// frames — each stamped with the client's cumulative drop count —
+// until either side hangs up. A reader goroutine watches the
+// connection purely to detect disconnection, so an abandoned watcher
+// is unsubscribed promptly instead of drop-counting forever. The
+// caller has consumed and validated the client's watch frame; br is
+// the connection's reader positioned after it. Blocks until the
+// client is gone; closes conn. Safe against a concurrently closing
+// broadcaster (the subscription comes back stillborn and the stream
+// ends immediately).
+func ServeWatch(conn net.Conn, br *bufio.Reader, b *Broadcaster, log *slog.Logger) {
+	sub := b.subscribe()
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(&message{
+		Type:  msgWelcome,
+		Proto: &wireVersion{Major: ProtoMajor, Minor: ProtoMinor},
+	}); err != nil {
+		b.unsubscribe(sub)
+		conn.Close()
+		return
+	}
+
+	go func() {
+		// Drain (and ignore) anything the client sends; a read error
+		// means it is gone.
+		for {
+			if _, err := readFrame(br); err != nil {
+				break
+			}
+		}
+		b.unsubscribe(sub)
+		conn.Close()
+	}()
+
+	for f := range sub.out {
+		f.Dropped = sub.dropped.Load()
+		if err := enc.Encode(&f); err != nil {
+			break
+		}
+	}
+	b.unsubscribe(sub)
+	conn.Close()
+	if log != nil {
+		log.Info("watch client unsubscribed", "remote", conn.RemoteAddr())
+	}
+}

@@ -42,6 +42,21 @@ func FuzzWireMessage(f *testing.F) {
 		`{"type":"trace","traces":[{"invocation":1}]}`,
 		`{"type":"stats","proto":{"major":1,"minor":1},"stats":{"uptime":12.5,"submitted":10,"completed":4,"reissued":0,"pending":5,"running":1,"batches":2,"workers":[{"name":"w","rate":50,"running":1,"completed":4}],"latency":{"samples":4,"p50":0.1,"p90":0.2,"p99":0.3}}}`,
 		`{"type":"stats","stats":{"uptime":1}}`,
+		`{"type":"job_submit","job":{"tenant":"gold","priority":2,"spec":{"name":"PN","generations":500},"retry_budget":8,"tasks":[{"id":0,"size":420.5},{"id":1,"size":33}]}}`,
+		`{"type":"job_submit","proto":{"major":1,"minor":3},"jobs":[{"id":"job-0007","tenant":"gold","state":"queued","scheduler":"PN","tasks":200,"completed":0,"retry_budget":64,"position":3,"submitted_at":52.5}]}`,
+		`{"type":"job_submit"}`,
+		`{"type":"job_submit","job":{"tasks":[{"id":1,"size":5},{"id":1,"size":5}]}}`,
+		`{"type":"job_status","job_id":"job-0007"}`,
+		`{"type":"job_status"}`,
+		`{"type":"job_status","proto":{"major":1,"minor":3},"error":"dist: unknown job \"job-9999\""}`,
+		`{"type":"job_cancel","job_id":"job-0007"}`,
+		`{"type":"job_cancel"}`,
+		`{"type":"job_result","job_id":"job-0006"}`,
+		`{"type":"job_result","proto":{"major":1,"minor":3},"result":{"id":"job-0006","tenant":"free","state":"done","tasks":120,"completed":120,"elapsed":480.5,"duration":9.25,"workers":[{"name":"w","tasks":120,"work":48000.75}]}}`,
+		`{"type":"event","v":{"major":1,"minor":3},"seq":13,"kind":"job_queued","queued":{"id":"job-0007","tenant":"gold","priority":2,"tasks":200,"queued":3,"at":52.5}}`,
+		`{"type":"event","v":{"major":1,"minor":3},"seq":14,"kind":"job_started","started":{"id":"job-0007","tenant":"gold","workers":3,"waited":4.25,"at":56.75}}`,
+		`{"type":"event","v":{"major":1,"minor":3},"seq":15,"kind":"job_done","finished":{"id":"job-0007","tenant":"gold","state":"done","completed":200,"retries":5,"duration":30.5,"at":87.25}}`,
+		`{"type":"event","v":{"major":1,"minor":3},"seq":16,"kind":"job_done"}`,
 		`{"type":"event","v":{"major":1,"minor":9},"seq":3,"kind":"from_the_future"}`,
 		`{"type":"event","v":{"major":2,"minor":0},"seq":4,"kind":"dispatch"}`,
 		`{"type":"event","v":{"major":1,"minor":0},"seq":5,"kind":"nonsense"}`,

@@ -38,6 +38,12 @@ func canonicalFrames() map[string]eventFrame {
 			Joined: &wireWorkerJoined{Name: "node7-4412", Rate: 87.5, Workers: 3, At: 21.5}},
 		"event_worker_left": {Type: msgEvent, V: v, Seq: 7, Kind: kindWorkerLeft,
 			Left: &wireWorkerLeft{Name: "node7-4412", Reissued: 5, Workers: 2, At: 44.25}},
+		"event_job_queued": {Type: msgEvent, V: v, Seq: 9, Kind: kindJobQueued,
+			Queued: &wireJobQueued{ID: "job-0007", Tenant: "gold", Priority: 2, Tasks: 200, Queued: 3, At: 52.5}},
+		"event_job_started": {Type: msgEvent, V: v, Seq: 10, Kind: kindJobStarted,
+			Started: &wireJobStarted{ID: "job-0007", Tenant: "gold", Workers: 3, Waited: 4.25, At: 56.75}},
+		"event_job_done": {Type: msgEvent, V: v, Seq: 11, Kind: kindJobDone,
+			Finished: &wireJobDone{ID: "job-0007", Tenant: "gold", State: "done", Completed: 200, Retries: 5, Duration: 30.5, At: 87.25}},
 	}
 }
 
@@ -62,6 +68,7 @@ func TestGoldenStatsReply(t *testing.T) {
 			},
 			Watchers: []WatcherSnapshot{{Queued: 12, Dropped: 3}},
 			Latency:  LatencySummary{Samples: 512, P50: 0.125, P90: 0.5, P99: 1.25},
+			Jobs:     &JobCounts{Queued: 2, Running: 1, Done: 14, Failed: 1, Cancelled: 3},
 		}.toWire(),
 	}
 	path := filepath.Join("testdata", "golden", "stats_reply.json")
@@ -148,6 +155,83 @@ func TestGoldenTraceReply(t *testing.T) {
 	}
 }
 
+// TestGoldenJobReplies freezes the wire encoding of the four job
+// exchange replies (1.3) — including the in-band error form — the same
+// way the stats and trace goldens freeze theirs.
+func TestGoldenJobReplies(t *testing.T) {
+	v := &wireVersion{Major: ProtoMajor, Minor: ProtoMinor}
+	acceptedJob := JobInfo{
+		ID: "job-0007", Tenant: "gold", Priority: 2, State: "queued",
+		Scheduler: "PN", Tasks: 200, RetryBudget: 64, Position: 3,
+		SubmittedAt: 52.5,
+	}
+	replies := map[string]message{
+		"job_submit_reply": {Type: msgJobSubmit, Proto: v,
+			Jobs: []JobInfo{acceptedJob}},
+		"job_status_reply": {Type: msgJobStatus, Proto: v,
+			Jobs: []JobInfo{
+				{ID: "job-0006", Tenant: "free", State: "done", Scheduler: "MX",
+					Tasks: 120, Completed: 120, RetryBudget: 64,
+					SubmittedAt: 40.25, StartedAt: 41.5, FinishedAt: 50.75},
+				{ID: "job-0007", Tenant: "gold", Priority: 2, State: "running",
+					Scheduler: "PN", Tasks: 200, Completed: 30, Retries: 5,
+					RetryBudget: 64, Workers: 3, SubmittedAt: 52.5, StartedAt: 56.75},
+			}},
+		"job_cancel_reply": {Type: msgJobCancel, Proto: v,
+			Jobs: []JobInfo{
+				{ID: "job-0007", Tenant: "gold", Priority: 2, State: "cancelled",
+					Scheduler: "PN", Tasks: 200, Completed: 30, Retries: 5,
+					RetryBudget: 64, SubmittedAt: 52.5, StartedAt: 56.75, FinishedAt: 60.25},
+			}},
+		"job_result_reply": {Type: msgJobResult, Proto: v,
+			Result: &JobResult{
+				ID: "job-0006", Tenant: "free", State: "done",
+				Tasks: 120, Completed: 120, Elapsed: 480.5, Duration: 9.25,
+				Workers: []JobWorkerResult{
+					{Name: "node7-4412", Tasks: 80, Work: 32000.5},
+					{Name: "node9-118", Tasks: 40, Work: 16000.25},
+				},
+			}},
+		"job_error_reply": {Type: msgJobStatus, Proto: v,
+			Error: `dist: unknown job "job-9999"`},
+	}
+	for name, reply := range replies {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", name+".json")
+			encoded, err := json.Marshal(&reply)
+			if err != nil {
+				t.Fatal(err)
+			}
+			encoded = append(encoded, '\n')
+			if *updateGolden {
+				if err := os.WriteFile(path, encoded, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(encoded, golden) {
+				t.Errorf("encoding changed:\n got %s\nwant %s", encoded, golden)
+			}
+
+			m, ev, err := decodeWireMessage(bytes.TrimSuffix(golden, []byte("\n")))
+			if err != nil || ev != nil || m == nil {
+				t.Fatalf("decodeWireMessage(golden) = (%v, %v, %v), want a %s message", m, ev, err, reply.Type)
+			}
+			again, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again = append(again, '\n')
+			if !bytes.Equal(again, golden) {
+				t.Errorf("decode→encode not byte-identical:\n got %s\nwant %s", again, golden)
+			}
+		})
+	}
+}
+
 // TestGoldenEventFrames freezes the wire encoding of every event kind:
 // encoding the canonical frame must reproduce the golden bytes, and
 // decode→encode of the golden bytes must be byte-identical (a pure
@@ -212,6 +296,8 @@ func TestGoldenFutureMinor(t *testing.T) {
 		Migration:      func(observe.Migration) { delivered++ },
 		Dispatch:       func(observe.Dispatch) { delivered++ },
 		BudgetStop:     func(observe.BudgetStop) { delivered++ },
+		JobQueued:      func(observe.JobQueued) { delivered++ },
+		JobDone:        func(observe.JobDone) { delivered++ },
 	}
 	for i, line := range lines {
 		m, ev, err := decodeWireMessage(line)

@@ -24,6 +24,15 @@ const (
 	msgEvent   = "event"   // server → watch client: one observer event
 	msgStats   = "stats"   // stats client ↔ server: snapshot request/reply (1.1)
 	msgTrace   = "trace"   // trace client ↔ server: decision-trace request/reply (1.2)
+
+	// Job dispatcher request/reply messages (protocol 1.3). Like stats
+	// and trace, each is a one-shot exchange: the client sends a request
+	// (no Proto), the dispatcher answers with a versioned reply carrying
+	// either the result fields or an error string, then closes.
+	msgJobSubmit = "job_submit" // client ↔ dispatcher: submit a job (1.3)
+	msgJobStatus = "job_status" // client ↔ dispatcher: one job's (or the whole queue's) status (1.3)
+	msgJobCancel = "job_cancel" // client ↔ dispatcher: cancel a job (1.3)
+	msgJobResult = "job_result" // client ↔ dispatcher: fetch a finished job's result (1.3)
 )
 
 // Event-stream protocol version, carried on the watch handshake and on
@@ -45,9 +54,15 @@ const (
 //	      message returning the server's ring of per-batch decision
 //	      traces. 1.0/1.1 clients skip the new kind and field and
 //	      cannot request traces; nothing they understood changed.
+//	1.3 — the job dispatcher: job_submit / job_status / job_cancel /
+//	      job_result request/reply messages, the job lifecycle event
+//	      kinds job_queued / job_started / job_done, and the jobs
+//	      block on the stats snapshot. Older clients skip the new
+//	      kinds and fields and cannot speak the job messages; nothing
+//	      they understood changed.
 const (
 	ProtoMajor = 1
-	ProtoMinor = 2
+	ProtoMinor = 3
 )
 
 // maxFrame bounds one JSON-lines frame. Frames beyond it are a protocol
@@ -92,6 +107,26 @@ type message struct {
 
 	// trace reply (absent on the request); oldest decision first
 	Traces []wireTrace `json:"traces,omitempty"`
+
+	// job_submit request (1.3)
+	Job *JobSubmission `json:"job,omitempty"`
+
+	// job_status / job_cancel / job_result requests (1.3): the target
+	// job. A job_status request with an empty JobID asks for the whole
+	// queue.
+	JobID string `json:"job_id,omitempty"`
+
+	// job_submit / job_status / job_cancel replies (1.3): the affected
+	// job(s), newest submission last.
+	Jobs []JobInfo `json:"jobs,omitempty"`
+
+	// job_result reply (1.3)
+	Result *JobResult `json:"result,omitempty"`
+
+	// job_* replies (1.3): a request the dispatcher understood but
+	// could not satisfy (unknown job, invalid submission, …). Mutually
+	// exclusive with Jobs/Result.
+	Error string `json:"error,omitempty"`
 }
 
 // wireVersion is the event-stream protocol version of a peer.
@@ -123,6 +158,9 @@ const (
 	kindWorkerJoined   = "worker_joined" // 1.1
 	kindWorkerLeft     = "worker_left"   // 1.1
 	kindEvolveDone     = "evolve_done"   // 1.2
+	kindJobQueued      = "job_queued"    // 1.3
+	kindJobStarted     = "job_started"   // 1.3
+	kindJobDone        = "job_done"      // 1.3
 )
 
 // eventFrame is the versioned server→client wire form of one Observer
@@ -152,6 +190,9 @@ type eventFrame struct {
 	Joined     *wireWorkerJoined   `json:"joined,omitempty"`
 	Left       *wireWorkerLeft     `json:"left,omitempty"`
 	Evolve     *wireEvolveDone     `json:"evolve,omitempty"`
+	Queued     *wireJobQueued      `json:"queued,omitempty"`
+	Started    *wireJobStarted     `json:"started,omitempty"`
+	Finished   *wireJobDone        `json:"finished,omitempty"`
 }
 
 // The event payloads mirror internal/observe's types field for field,
@@ -220,6 +261,37 @@ type wireEvolveDone struct {
 	Reason         string  `json:"reason"`
 }
 
+// wireJobQueued reports a job admitted to the dispatcher queue (1.3).
+type wireJobQueued struct {
+	ID       string  `json:"id"`
+	Tenant   string  `json:"tenant"`
+	Priority int     `json:"priority,omitempty"`
+	Tasks    int     `json:"tasks"`
+	Queued   int     `json:"queued"` // queued-job count after this enqueue
+	At       float64 `json:"at"`
+}
+
+// wireJobStarted reports a job leaving the queue with its initial
+// worker lease (1.3).
+type wireJobStarted struct {
+	ID      string  `json:"id"`
+	Tenant  string  `json:"tenant"`
+	Workers int     `json:"workers"` // workers leased at start
+	Waited  float64 `json:"waited"`  // queue wait in seconds
+	At      float64 `json:"at"`
+}
+
+// wireJobDone reports a job reaching a terminal state (1.3).
+type wireJobDone struct {
+	ID        string  `json:"id"`
+	Tenant    string  `json:"tenant"`
+	State     string  `json:"state"` // done | failed | cancelled
+	Completed int     `json:"completed"`
+	Retries   int     `json:"retries,omitempty"`
+	Duration  float64 `json:"duration"` // start→finish wall seconds
+	At        float64 `json:"at"`
+}
+
 // validate checks an event frame's internal consistency: version
 // compatibility and that the payload matching Kind is present. An
 // unknown kind is an error at this side's minor version — the peer is
@@ -248,6 +320,12 @@ func (f *eventFrame) validate() error {
 		missing = f.Left == nil
 	case kindEvolveDone:
 		missing = f.Evolve == nil
+	case kindJobQueued:
+		missing = f.Queued == nil
+	case kindJobStarted:
+		missing = f.Started == nil
+	case kindJobDone:
+		missing = f.Finished == nil
 	case "":
 		return errors.New("dist: event frame without kind")
 	default:
@@ -328,6 +406,36 @@ func (f *eventFrame) deliver(o observe.Observer) {
 			BestMakespan:   units.Seconds(f.Evolve.BestMakespan),
 			Reason:         f.Evolve.Reason,
 		})
+	case kindJobQueued:
+		// The job kinds ride the JobObserver extension; plain Observers
+		// skip them (Emit* no-ops), matching how pre-1.3 peers never see
+		// the kinds at all.
+		observe.EmitJobQueued(o, observe.JobQueued{
+			ID:       f.Queued.ID,
+			Tenant:   f.Queued.Tenant,
+			Priority: f.Queued.Priority,
+			Tasks:    f.Queued.Tasks,
+			Queued:   f.Queued.Queued,
+			At:       units.Seconds(f.Queued.At),
+		})
+	case kindJobStarted:
+		observe.EmitJobStarted(o, observe.JobStarted{
+			ID:      f.Started.ID,
+			Tenant:  f.Started.Tenant,
+			Workers: f.Started.Workers,
+			Waited:  units.Seconds(f.Started.Waited),
+			At:      units.Seconds(f.Started.At),
+		})
+	case kindJobDone:
+		observe.EmitJobDone(o, observe.JobDone{
+			ID:        f.Finished.ID,
+			Tenant:    f.Finished.Tenant,
+			State:     f.Finished.State,
+			Completed: f.Finished.Completed,
+			Retries:   f.Finished.Retries,
+			Duration:  units.Seconds(f.Finished.Duration),
+			At:        units.Seconds(f.Finished.At),
+		})
 	}
 }
 
@@ -360,7 +468,8 @@ func decodeWireMessage(line []byte) (msg *message, ev *eventFrame, err error) {
 			return nil, nil, err
 		}
 		return nil, &f, nil
-	case msgHello, msgAssign, msgDone, msgWatch, msgWelcome, msgStats, msgTrace:
+	case msgHello, msgAssign, msgDone, msgWatch, msgWelcome, msgStats, msgTrace,
+		msgJobSubmit, msgJobStatus, msgJobCancel, msgJobResult:
 		var m message
 		if err := json.Unmarshal(line, &m); err != nil {
 			return nil, nil, fmt.Errorf("dist: malformed %s frame: %w", probe.Type, err)
@@ -422,6 +531,44 @@ func (m *message) validate() error {
 		}
 		if m.Traces != nil {
 			return errors.New("dist: trace reply without protocol version")
+		}
+	case msgJobSubmit:
+		// Reply: versioned, carrying the accepted job or an error.
+		// Request: must carry the submission, whose tasks follow the
+		// assign rules.
+		if m.Proto != nil {
+			return m.Proto.compatible()
+		}
+		if m.Jobs != nil || m.Error != "" {
+			return errors.New("dist: job_submit reply without protocol version")
+		}
+		if m.Job == nil {
+			return errors.New("dist: job_submit without job payload")
+		}
+		for _, w := range m.Job.Tasks {
+			if w.ID < 0 || w.Size < 0 {
+				return fmt.Errorf("dist: job_submit with invalid task {id %d, size %v}", w.ID, w.Size)
+			}
+		}
+	case msgJobStatus:
+		// Request: a job id, or empty for the whole queue. Reply:
+		// versioned.
+		if m.Proto != nil {
+			return m.Proto.compatible()
+		}
+		if m.Jobs != nil || m.Error != "" {
+			return errors.New("dist: job_status reply without protocol version")
+		}
+	case msgJobCancel, msgJobResult:
+		// Request: must name a job. Reply: versioned.
+		if m.Proto != nil {
+			return m.Proto.compatible()
+		}
+		if m.Jobs != nil || m.Result != nil || m.Error != "" {
+			return fmt.Errorf("dist: %s reply without protocol version", m.Type)
+		}
+		if m.JobID == "" {
+			return fmt.Errorf("dist: %s without job_id", m.Type)
 		}
 	}
 	return nil

@@ -535,11 +535,8 @@ func (s *Server) serveWorker(conn net.Conn, br *bufio.Reader, name string, claim
 }
 
 // serveWatch subscribes one watch client to the event broadcaster and
-// streams frames to it until either side hangs up. The writer (this
-// goroutine) stamps each frame with the client's cumulative drop count
-// as it leaves; a reader goroutine watches the connection purely to
-// detect disconnection, so an abandoned watcher is unsubscribed
-// promptly instead of drop-counting forever.
+// streams frames to it until either side hangs up, via the shared
+// ServeWatch loop.
 func (s *Server) serveWatch(conn net.Conn, br *bufio.Reader) {
 	b := s.cfg.Events
 	if b == nil {
@@ -555,38 +552,7 @@ func (s *Server) serveWatch(conn net.Conn, br *bufio.Reader) {
 		return
 	}
 	s.log.Info("watch client subscribed", "remote", conn.RemoteAddr())
-	sub := b.subscribe()
-	enc := json.NewEncoder(conn)
-	if err := enc.Encode(&message{
-		Type:  msgWelcome,
-		Proto: &wireVersion{Major: ProtoMajor, Minor: ProtoMinor},
-	}); err != nil {
-		b.unsubscribe(sub)
-		conn.Close()
-		return
-	}
-
-	go func() {
-		// Drain (and ignore) anything the client sends; a read error
-		// means it is gone.
-		for {
-			if _, err := readFrame(br); err != nil {
-				break
-			}
-		}
-		b.unsubscribe(sub)
-		conn.Close()
-	}()
-
-	for f := range sub.out {
-		f.Dropped = sub.dropped.Load()
-		if err := enc.Encode(&f); err != nil {
-			break
-		}
-	}
-	b.unsubscribe(sub)
-	conn.Close()
-	s.log.Info("watch client unsubscribed", "remote", conn.RemoteAddr())
+	ServeWatch(conn, br, b, s.log)
 }
 
 // serveStats answers a one-shot stats request (protocol 1.1): one

@@ -39,6 +39,9 @@ type Snapshot struct {
 	Watchers []WatcherSnapshot
 	// Latency summarises recent dispatch→done wall-clock round trips.
 	Latency LatencySummary
+	// Jobs counts the dispatcher's jobs by state (protocol 1.3). Nil
+	// for plain Serve servers, which have no job layer.
+	Jobs *JobCounts
 }
 
 // WorkerSnapshot is one connected worker's slice of a Snapshot.
@@ -84,6 +87,9 @@ type wireStats struct {
 	Workers   []wireWorkerStat  `json:"workers,omitempty"`
 	Watchers  []wireWatcherStat `json:"watchers,omitempty"`
 	Latency   *wireLatency      `json:"latency,omitempty"`
+	// Jobs is present only on dispatcher snapshots (1.3); older readers
+	// skip the unknown field.
+	Jobs *JobCounts `json:"jobs,omitempty"`
 }
 
 type wireWorkerStat struct {
@@ -134,6 +140,10 @@ func (s Snapshot) toWire() *wireStats {
 			P99:     float64(s.Latency.P99),
 		}
 	}
+	if s.Jobs != nil {
+		jc := *s.Jobs
+		w.Jobs = &jc
+	}
 	return w
 }
 
@@ -165,6 +175,10 @@ func (w *wireStats) toSnapshot() Snapshot {
 			P90:     units.Seconds(w.Latency.P90),
 			P99:     units.Seconds(w.Latency.P99),
 		}
+	}
+	if w.Jobs != nil {
+		jc := *w.Jobs
+		s.Jobs = &jc
 	}
 	return s
 }

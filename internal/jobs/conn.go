@@ -1,0 +1,393 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"pnsched/internal/dist"
+	"pnsched/internal/observe"
+	"pnsched/internal/smoothing"
+	"pnsched/internal/task"
+	"pnsched/internal/units"
+)
+
+// worker is the dispatcher's record of one connected worker: the same
+// hello/assign/done conversation a dist.Server holds, plus the lease —
+// the job this worker currently executes for. All mutable fields are
+// guarded by the Dispatcher's mu.
+type worker struct {
+	name    string
+	claimed units.Rate
+	conn    net.Conn
+	out     chan dist.Message
+	rate    *smoothing.Smoother
+	comm    *smoothing.Smoother
+
+	// outstanding maps dispatcher-assigned wire IDs of in-flight tasks
+	// to their origin. Wire IDs are dispatcher-global (nextWire) so
+	// tasks of different jobs — whose own ID spaces may collide —
+	// never alias on one connection; the original task rides along for
+	// requeueing under its own ID.
+	outstanding map[int32]pendingTask
+	pending     units.MFlops
+	completed   int
+	lease       *job
+	gone        bool
+}
+
+// pendingTask is one dispatched-but-unreported task.
+type pendingTask struct {
+	j      *job
+	t      task.Task
+	sentAt time.Time
+	solo   bool // dispatched to an empty worker: round-trip slack is link overhead
+}
+
+// helloTimeout bounds how long an accepted connection may sit silent
+// before its handshake frame, as in dist.
+const helloTimeout = 10 * time.Second
+
+// handleConn owns one inbound connection. The first frame decides what
+// the peer is: hello registers a worker, watch subscribes an event
+// stream, stats/trace and the job_* messages are one-shot
+// request/reply exchanges.
+func (d *Dispatcher) handleConn(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	br := bufio.NewReader(conn)
+	line, err := dist.ReadFrame(br)
+	var m *dist.Message
+	if err == nil {
+		m, _, err = dist.DecodeWireMessage(line)
+		if err == nil && m == nil {
+			err = errors.New("jobs: connection opened with a non-handshake frame")
+		}
+	}
+	if err != nil {
+		if !dist.IsClosedErr(err) {
+			d.met.decodeErrors.Inc()
+			d.log.Warn("connection rejected", "remote", conn.RemoteAddr(), "err", err)
+		}
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{}) // handshake done: read blocks indefinitely
+
+	switch m.Type {
+	case dist.MsgHello:
+		d.serveWorker(conn, br, m.Name, units.Rate(m.Rate))
+	case dist.MsgWatch:
+		d.serveWatch(conn, br)
+	case dist.MsgStats:
+		d.serveStats(conn)
+	case dist.MsgTrace:
+		d.serveTrace(conn)
+	case dist.MsgJobSubmit, dist.MsgJobStatus, dist.MsgJobCancel, dist.MsgJobResult:
+		d.serveJobRequest(conn, m)
+	default:
+		d.met.decodeErrors.Inc()
+		d.log.Warn("connection rejected: first frame is not a handshake",
+			"remote", conn.RemoteAddr(), "type", m.Type)
+		conn.Close()
+	}
+}
+
+// serveWorker registers a worker into the pool, leases it to the
+// neediest active job, and runs its read loop until the connection
+// drops.
+func (d *Dispatcher) serveWorker(conn net.Conn, br *bufio.Reader, name string, claimed units.Rate) {
+	w := &worker{
+		name:        name,
+		claimed:     claimed,
+		conn:        conn,
+		out:         make(chan dist.Message, 16),
+		rate:        smoothing.New(d.nu),
+		comm:        smoothing.New(d.nu),
+		outstanding: make(map[int32]pendingTask),
+	}
+	w.rate.Observe(float64(claimed)) // prime beliefs with the claimed rating
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		conn.Close()
+		return
+	}
+	d.workers = append(d.workers, w)
+	pool := len(d.workers)
+	d.rebalanceLocked()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.log.Info("worker joined", "worker", name, "remote", conn.RemoteAddr(),
+		"rate", float64(claimed), "workers", pool)
+	if d.observer != nil {
+		d.observer.OnWorkerJoined(observe.WorkerJoined{
+			Name:    name,
+			Rate:    claimed,
+			Workers: pool,
+			At:      d.sinceStart(time.Now()),
+		})
+	}
+
+	go d.writeLoop(w)
+
+	for {
+		line, err := dist.ReadFrame(br)
+		if err != nil {
+			if !dist.IsClosedErr(err) {
+				d.log.Warn("worker read error", "worker", name, "err", err)
+			}
+			break
+		}
+		m, _, err := dist.DecodeWireMessage(line)
+		if err != nil {
+			d.met.decodeErrors.Inc()
+			d.log.Warn("worker sent bad frame", "worker", name, "err", err)
+			break
+		}
+		if m != nil && m.Type == dist.MsgDone {
+			d.handleDone(w, m.Task, units.Seconds(m.Elapsed), m.Real)
+		}
+	}
+	d.unregister(w)
+}
+
+// writeLoop drains a worker's outbound queue onto its connection. A
+// write failure closes the connection, which surfaces in the read loop
+// and triggers unregistration there.
+func (d *Dispatcher) writeLoop(w *worker) {
+	enc := json.NewEncoder(w.conn)
+	for m := range w.out {
+		if err := enc.Encode(&m); err != nil {
+			w.conn.Close()
+			return
+		}
+	}
+}
+
+// handleDone records one completed task against its job: counters,
+// per-worker tallies, the §3.6 smoothed rate / link observations, and
+// — when this was the job's last task — the job's completion. Reports
+// whose wire ID no longer resolves (job cancelled or failed while the
+// task was in flight, duplicate report) are ignored.
+func (d *Dispatcher) handleDone(w *worker, wid int32, elapsed units.Seconds, real float64) {
+	now := time.Now()
+	d.mu.Lock()
+	p, ok := w.outstanding[wid]
+	if !ok {
+		d.mu.Unlock()
+		return // stale or duplicate report
+	}
+	delete(w.outstanding, wid)
+	w.pending -= p.t.Size
+	if w.pending < 0 {
+		w.pending = 0
+	}
+	w.completed++
+	d.tasksDone++
+	d.met.tasksCompleted.Inc()
+	j := p.j
+	j.completed++
+	j.elapsedSum += float64(elapsed)
+	tally := j.perWorker[w.name]
+	if tally == nil {
+		tally = &workerTally{}
+		j.perWorker[w.name] = tally
+	}
+	tally.tasks++
+	tally.work += p.t.Size
+	lat := now.Sub(p.sentAt).Seconds()
+	d.observeLatencyLocked(lat)
+	d.met.dispatchLatency.Observe(lat)
+	if elapsed > 0 {
+		w.rate.Observe(float64(p.t.Size) / float64(elapsed))
+	}
+	if p.solo && real > 0 && elapsed > 0 {
+		// Same Γc rule as dist.Server.handleDone: solo-dispatch
+		// round-trip slack, converted to the simulated clock, above the
+		// noise floor.
+		if slack := now.Sub(p.sentAt).Seconds() - real; slack > commNoiseFloor {
+			w.comm.Observe(slack * float64(elapsed) / real)
+		}
+	}
+	var ems emits
+	if j.state == StateRunning && j.completed == j.total {
+		ems = d.finishLocked(j, StateDone, "", now)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.emit(ems)
+}
+
+// commNoiseFloor mirrors dist's: round-trip slack below it is
+// scheduler jitter, not link overhead.
+const commNoiseFloor = 1e-3
+
+// unregister removes a worker from the pool and returns its in-flight
+// tasks to their jobs' queues. Unlike the single-workload server,
+// reissue here is charged against each affected job's retry budget —
+// a job that exhausts its budget fails rather than retrying forever.
+func (d *Dispatcher) unregister(w *worker) {
+	w.conn.Close()
+	d.mu.Lock()
+	if w.gone {
+		d.mu.Unlock()
+		return
+	}
+	w.gone = true
+	for i, x := range d.workers {
+		if x == w {
+			d.workers = append(d.workers[:i], d.workers[i+1:]...)
+			break
+		}
+	}
+	lost := map[*job][]task.Task{}
+	for _, p := range w.outstanding {
+		lost[p.j] = append(lost[p.j], p.t)
+	}
+	w.outstanding = nil
+	if j := w.lease; j != nil {
+		w.lease = nil
+		if j.leased > 0 {
+			j.leased--
+		}
+	}
+	// Deterministic processing order across jobs, and ID order within
+	// one job, so reruns behave alike.
+	jobs := make([]*job, 0, len(lost))
+	for j := range lost {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	total := 0
+	var ems emits
+	now := time.Now()
+	for _, j := range jobs {
+		ts := lost[j]
+		if j.state != StateRunning {
+			continue // terminal while tasks were in flight: nothing to redo
+		}
+		sort.Slice(ts, func(a, b int) bool { return ts[a].ID < ts[b].ID })
+		j.queue.PushAll(ts)
+		j.retries += len(ts)
+		total += len(ts)
+		if j.retries > j.budget {
+			ems = append(ems, d.finishLocked(j, StateFailed,
+				fmt.Sprintf("retry budget exhausted: %d reissues exceed budget %d (worker %q lost)",
+					j.retries, j.budget, w.name), now)...)
+		}
+	}
+	d.reissued += total
+	d.met.reissuedTasks.Add(float64(total))
+	close(w.out)
+	pool := len(d.workers)
+	d.rebalanceLocked()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.emit(append(emits{{left: &observe.WorkerLeft{
+		Name:     w.name,
+		Reissued: total,
+		Workers:  pool,
+		At:       d.sinceStart(now),
+	}}}, ems...))
+}
+
+// serveWatch subscribes one watch client to the event broadcaster via
+// the shared dist.ServeWatch loop; job lifecycle kinds ride the same
+// stream as everything else.
+func (d *Dispatcher) serveWatch(conn net.Conn, br *bufio.Reader) {
+	b := d.cfg.Events
+	if b == nil {
+		d.log.Warn("watch rejected: event streaming not enabled", "remote", conn.RemoteAddr())
+		conn.Close()
+		return
+	}
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		conn.Close()
+		return
+	}
+	d.log.Info("watch client subscribed", "remote", conn.RemoteAddr())
+	dist.ServeWatch(conn, br, b, d.log)
+}
+
+// serveStats answers a one-shot stats request with the dispatcher's
+// snapshot — the same wire shape a dist.Server serves, with the job
+// counts block present.
+func (d *Dispatcher) serveStats(conn net.Conn) {
+	defer conn.Close()
+	snap := d.Snapshot()
+	if err := json.NewEncoder(conn).Encode(&dist.Message{
+		Type:  dist.MsgStats,
+		Proto: &dist.WireVersion{Major: dist.ProtoMajor, Minor: dist.ProtoMinor},
+		Stats: snap.ToWire(),
+	}); err != nil {
+		d.log.Warn("stats reply failed", "remote", conn.RemoteAddr(), "err", err)
+	}
+}
+
+// serveTrace answers a one-shot trace request. The dispatcher keeps no
+// decision recorder of its own (each job's scheduler is ephemeral), so
+// the reply is a well-formed empty list — the message is understood,
+// there is just nothing retained.
+func (d *Dispatcher) serveTrace(conn net.Conn) {
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(&dist.Message{
+		Type:  dist.MsgTrace,
+		Proto: &dist.WireVersion{Major: dist.ProtoMajor, Minor: dist.ProtoMinor},
+	}); err != nil {
+		d.log.Warn("trace reply failed", "remote", conn.RemoteAddr(), "err", err)
+	}
+}
+
+// serveJobRequest answers one job_* request: a single versioned reply
+// echoing the request type, carrying either the result or an
+// application-level Error string, then close. Failures are reported
+// in-band (not by dropping the connection) so clients can distinguish
+// "no such job" from "server does not speak 1.3".
+func (d *Dispatcher) serveJobRequest(conn net.Conn, m *dist.Message) {
+	defer conn.Close()
+	reply := dist.Message{
+		Type:  m.Type,
+		Proto: &dist.WireVersion{Major: dist.ProtoMajor, Minor: dist.ProtoMinor},
+	}
+	fail := func(err error) { reply.Error = err.Error() }
+	switch m.Type {
+	case dist.MsgJobSubmit:
+		if info, err := d.Submit(*m.Job); err != nil {
+			fail(err)
+		} else {
+			reply.Jobs = []dist.JobInfo{info}
+		}
+	case dist.MsgJobStatus:
+		if m.JobID == "" {
+			reply.Jobs = d.Queue()
+		} else if info, err := d.Status(m.JobID); err != nil {
+			fail(err)
+		} else {
+			reply.Jobs = []dist.JobInfo{info}
+		}
+	case dist.MsgJobCancel:
+		if info, err := d.Cancel(m.JobID); err != nil {
+			fail(err)
+		} else {
+			reply.Jobs = []dist.JobInfo{info}
+		}
+	case dist.MsgJobResult:
+		if res, err := d.Result(m.JobID); err != nil {
+			fail(err)
+		} else {
+			reply.Result = &res
+		}
+	}
+	if err := json.NewEncoder(conn).Encode(&reply); err != nil {
+		d.log.Warn("job reply failed", "remote", conn.RemoteAddr(),
+			"type", m.Type, "err", err)
+	}
+}

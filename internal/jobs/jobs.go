@@ -1,0 +1,959 @@
+// Package jobs implements the multi-tenant job dispatcher: a
+// persistent scheduling service layered on the internal/dist wire
+// protocol (1.3) that owns a queue of jobs — each a workload plus its
+// own scheduler, tenant and priority — instead of the single workload
+// a dist.Server runs.
+//
+// Clients submit jobs over the job_submit/job_status/job_cancel/
+// job_result one-shot exchanges; workers connect with the exact same
+// hello/assign/done conversation they have always spoken (pnworker
+// needs no changes); watch clients subscribe to the same event stream
+// and additionally see the job lifecycle kinds job_queued /
+// job_started / job_done.
+//
+// The dispatcher admits queued jobs under a configurable policy —
+// FIFO, priority, or weighted fair-share across tenants (stride
+// scheduling over admitted work) — and leases workers from the shared
+// pool to the active jobs: a worker belongs to at most one job at a
+// time, runs that job's batches through the job's own scheduler, and
+// is reclaimed when the job ends. Worker loss generalises the dist
+// server's reissue-on-disconnect into per-job retry budgets: a lost
+// task returns to its job's queue and spends one retry; a job that
+// exhausts its budget fails, releasing its workers to the next job.
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"pnsched/internal/dist"
+	"pnsched/internal/observe"
+	"pnsched/internal/sched"
+	"pnsched/internal/stats"
+	"pnsched/internal/task"
+	"pnsched/internal/telemetry"
+	"pnsched/internal/units"
+)
+
+// Policy selects how queued jobs are admitted to run.
+type Policy string
+
+const (
+	// PolicyFIFO admits jobs in submission order.
+	PolicyFIFO Policy = "fifo"
+	// PolicyPriority admits the highest-priority queued job first,
+	// submission order within a priority.
+	PolicyPriority Policy = "priority"
+	// PolicyFair admits jobs by weighted fair share across tenants:
+	// each tenant accrues virtual time as admitted work divided by its
+	// weight, and the pending job of the furthest-behind tenant goes
+	// next (stride scheduling). Tenants returning from idle are lifted
+	// to the minimum live virtual time so they cannot hoard credit.
+	PolicyFair Policy = "fair"
+)
+
+// ParsePolicy maps a policy name (as the CLI flags spell it) to a
+// Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyFIFO, PolicyPriority, PolicyFair:
+		return Policy(s), nil
+	case "":
+		return PolicyFIFO, nil
+	}
+	return "", fmt.Errorf("jobs: unknown admission policy %q (want fifo, priority or fair)", s)
+}
+
+// Job states, as reported in JobInfo.State and the job_done event.
+// The state machine is linear: queued → running → one of the three
+// terminal states; queued jobs may also go directly to cancelled.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+const (
+	// DefaultRetryBudget is the per-job reissue allowance when neither
+	// the submission nor the Config names one.
+	DefaultRetryBudget = 64
+	// DefaultMaxActive is the number of jobs run concurrently when
+	// Config.MaxActive is zero. One active job keeps admission ordering
+	// exact: the policies decide the run order, not lease contention.
+	DefaultMaxActive = 1
+	// DefaultRetain is the number of terminal jobs (and their results)
+	// kept for job_status/job_result before the oldest are evicted.
+	DefaultRetain = 256
+	// DefaultTenant is the accounting tenant of submissions that name
+	// none.
+	DefaultTenant = "default"
+)
+
+// Config configures a Dispatcher.
+type Config struct {
+	// NewScheduler builds a job's batch scheduler from the submission's
+	// raw spec (empty spec selects the caller's default). Required —
+	// the dispatcher is deliberately ignorant of the registry so the
+	// import DAG stays acyclic; the root package injects its Spec
+	// machinery here.
+	NewScheduler func(spec json.RawMessage) (sched.Batch, error)
+	// Policy selects the admission order; empty means PolicyFIFO.
+	Policy Policy
+	// Weights are the per-tenant fair-share weights (PolicyFair);
+	// tenants absent from the map weigh 1. Values must be positive.
+	Weights map[string]float64
+	// MaxActive bounds concurrently running jobs; 0 selects
+	// DefaultMaxActive. With more than one active job the worker pool
+	// is split between them in proportion to tenant weight.
+	MaxActive int
+	// RetryBudget is the default per-job reissue allowance for
+	// submissions that carry none; 0 selects DefaultRetryBudget.
+	RetryBudget int
+	// Retain bounds how many terminal jobs stay queryable; 0 selects
+	// DefaultRetain.
+	Retain int
+	// Log receives structured serving logs. Nil disables logging.
+	Log *slog.Logger
+	// Observer, when non-nil, receives the dispatcher's events —
+	// batch/dispatch/worker events exactly as a dist.Server emits
+	// them, plus the job lifecycle events via observe.JobObserver.
+	Observer observe.Observer
+	// Events, when non-nil, enables watch subscriptions and streams
+	// every event (including the job kinds) to wire watchers.
+	Events *dist.Broadcaster
+	// Metrics, when non-nil, registers the pnsched_jobs_* instrument
+	// families.
+	Metrics *telemetry.Registry
+	// Nu is the §3.6 smoothing factor for worker rate and link
+	// estimates; 0 selects dist.DefaultNu.
+	Nu float64
+	// Backlog paces per-worker dispatch as in dist.ServerConfig; 0
+	// selects dist.DefaultBacklog.
+	Backlog int
+}
+
+// job is the dispatcher-side record of one submitted job. All mutable
+// fields are guarded by the owning Dispatcher's mu.
+type job struct {
+	id       string
+	seq      int // global submission order, 1-based
+	tenant   string
+	priority int
+	spec     json.RawMessage
+	sch      sched.Batch
+	schName  string
+
+	state     string
+	queue     *task.Queue // unscheduled tasks (including reissues)
+	total     int
+	totalWork units.MFlops
+	completed int
+	retries   int
+	budget    int
+	errMsg    string
+	leased    int // workers currently leased to this job
+
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+
+	elapsedSum float64 // simulated seconds across completed tasks
+	perWorker  map[string]*workerTally
+	batches    int
+}
+
+// workerTally accumulates one worker's share of a job.
+type workerTally struct {
+	tasks int
+	work  units.MFlops
+}
+
+// event is one observer event a locked transition produced (exactly
+// one field is set); emits is the ordered list of them, delivered
+// after the lock is released (the events-outside-the-lock rule
+// locksend enforces). Ordering is preserved end to end so watchers
+// see, e.g., a predecessor's job_done before its successor's
+// job_started.
+type event struct {
+	queued  *observe.JobQueued
+	started *observe.JobStarted
+	done    *observe.JobDone
+	left    *observe.WorkerLeft
+}
+
+type emits []event
+
+// Dispatcher is the multi-tenant job service. Create with New; all
+// methods are safe for concurrent use.
+type Dispatcher struct {
+	cfg      Config
+	policy   Policy
+	nu       float64
+	backlog  int
+	maxAct   int
+	retain   int
+	log      *slog.Logger
+	met      *jobMetrics
+	observer observe.Observer // cfg.Observer fanned with cfg.Events
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on every state change
+	ln      net.Listener
+	closed  bool
+	start   time.Time
+	workers []*worker // connected pool, registration order
+
+	jobsByID map[string]*job
+	order    []*job // every retained job, submission order
+	pending  []*job // queued jobs, submission order
+	active   []*job // running jobs, admission order
+	nextSeq  int
+	nextWire int32 // dispatcher-global wire task IDs (see dispatchLocked)
+
+	// served is the fair-share ledger: admitted work (MFLOPs) per
+	// tenant; virtual time is served/weight.
+	served map[string]float64
+
+	// Cumulative counters for Snapshot and metrics.
+	tasksSubmitted int
+	tasksDone      int
+	reissued       int
+	batches        int
+	doneCount      int
+	failedCount    int
+	cancelCount    int
+
+	// latency is the sliding dispatch→done round-trip window feeding
+	// Snapshot quantiles, as in dist.Server.
+	latency    []float64
+	latW, latN int
+}
+
+// latencyWindow matches dist's snapshot window size.
+const latencyWindow = 512
+
+// New returns a dispatcher ready to serve; call ListenAndServe or
+// Serve.
+func New(cfg Config) (*Dispatcher, error) {
+	if cfg.NewScheduler == nil {
+		return nil, errors.New("jobs: Config.NewScheduler is required")
+	}
+	policy, err := ParsePolicy(string(cfg.Policy))
+	if err != nil {
+		return nil, err
+	}
+	for t, w := range cfg.Weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("jobs: tenant %q has non-positive weight %v", t, w)
+		}
+	}
+	if cfg.Nu < 0 || cfg.Nu > 1 {
+		return nil, fmt.Errorf("jobs: smoothing factor %v outside [0,1]", cfg.Nu)
+	}
+	if cfg.MaxActive < 0 {
+		return nil, fmt.Errorf("jobs: negative MaxActive %d", cfg.MaxActive)
+	}
+	if cfg.RetryBudget < 0 {
+		return nil, fmt.Errorf("jobs: negative RetryBudget %d", cfg.RetryBudget)
+	}
+	d := &Dispatcher{
+		cfg:      cfg,
+		policy:   policy,
+		nu:       cfg.Nu,
+		backlog:  cfg.Backlog,
+		maxAct:   cfg.MaxActive,
+		retain:   cfg.Retain,
+		log:      cfg.Log,
+		jobsByID: map[string]*job{},
+		served:   map[string]float64{},
+		start:    time.Now(),
+	}
+	if d.nu == 0 {
+		d.nu = dist.DefaultNu
+	}
+	if d.backlog == 0 {
+		d.backlog = dist.DefaultBacklog
+	}
+	if d.maxAct == 0 {
+		d.maxAct = DefaultMaxActive
+	}
+	if d.retain == 0 {
+		d.retain = DefaultRetain
+	}
+	if d.log == nil {
+		d.log = slog.New(slog.DiscardHandler)
+	}
+	d.observer = cfg.Observer
+	if cfg.Events != nil {
+		d.observer = observe.Multi(cfg.Observer, cfg.Events)
+	}
+	if cfg.Metrics != nil {
+		d.met = newJobMetrics(cfg.Metrics, d)
+	} else {
+		d.met = &jobMetrics{}
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d, nil
+}
+
+// sinceStart converts an absolute time to the dispatcher clock —
+// seconds since start, the clock every event and timestamp uses.
+func (d *Dispatcher) sinceStart(t time.Time) units.Seconds {
+	if t.IsZero() {
+		return 0
+	}
+	return units.Seconds(t.Sub(d.start).Seconds())
+}
+
+// emit delivers a transition's collected events in order. Must be
+// called without holding mu.
+func (d *Dispatcher) emit(e emits) {
+	for _, ev := range e {
+		switch {
+		case ev.queued != nil:
+			observe.EmitJobQueued(d.observer, *ev.queued)
+			d.log.Info("job queued", "job", ev.queued.ID, "tenant", ev.queued.Tenant,
+				"priority", ev.queued.Priority, "tasks", ev.queued.Tasks,
+				"queued", ev.queued.Queued)
+		case ev.started != nil:
+			observe.EmitJobStarted(d.observer, *ev.started)
+			d.log.Info("job started", "job", ev.started.ID, "tenant", ev.started.Tenant,
+				"workers", ev.started.Workers, "waited", float64(ev.started.Waited))
+		case ev.done != nil:
+			observe.EmitJobDone(d.observer, *ev.done)
+			d.log.Info("job finished", "job", ev.done.ID, "tenant", ev.done.Tenant,
+				"state", ev.done.State, "completed", ev.done.Completed,
+				"retries", ev.done.Retries, "duration", float64(ev.done.Duration))
+		case ev.left != nil:
+			d.log.Info("worker left", "worker", ev.left.Name,
+				"reissued", ev.left.Reissued, "workers", ev.left.Workers)
+			if d.observer != nil {
+				d.observer.OnWorkerLeft(*ev.left)
+			}
+		}
+	}
+}
+
+// Submit validates and enqueues one job, returning its accepted state.
+// The scheduler is constructed up front (outside the lock) so a bad
+// spec is rejected at submission, not at start.
+func (d *Dispatcher) Submit(sub dist.JobSubmission) (dist.JobInfo, error) {
+	if len(sub.Tasks) == 0 {
+		return dist.JobInfo{}, errors.New("jobs: submission with no tasks")
+	}
+	seen := make(map[int32]struct{}, len(sub.Tasks))
+	for _, w := range sub.Tasks {
+		if w.ID < 0 || w.Size < 0 {
+			return dist.JobInfo{}, fmt.Errorf("jobs: invalid task {id %d, size %v}", w.ID, w.Size)
+		}
+		if _, dup := seen[w.ID]; dup {
+			return dist.JobInfo{}, fmt.Errorf("jobs: duplicate task id %d in submission", w.ID)
+		}
+		seen[w.ID] = struct{}{}
+	}
+	if sub.RetryBudget != nil && *sub.RetryBudget < 0 {
+		return dist.JobInfo{}, fmt.Errorf("jobs: negative retry budget %d", *sub.RetryBudget)
+	}
+	sch, err := d.cfg.NewScheduler(sub.Spec)
+	if err != nil {
+		return dist.JobInfo{}, err
+	}
+	tenant := sub.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	budget := d.cfg.RetryBudget
+	if budget == 0 {
+		budget = DefaultRetryBudget
+	}
+	if sub.RetryBudget != nil {
+		budget = *sub.RetryBudget
+	}
+	ts := dist.TasksFromWire(sub.Tasks)
+
+	now := time.Now()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return dist.JobInfo{}, errors.New("jobs: dispatcher closed")
+	}
+	d.nextSeq++
+	j := &job{
+		id:          fmt.Sprintf("job-%04d", d.nextSeq),
+		seq:         d.nextSeq,
+		tenant:      tenant,
+		priority:    sub.Priority,
+		spec:        sub.Spec,
+		sch:         sch,
+		schName:     sch.Name(),
+		state:       StateQueued,
+		queue:       task.NewQueue(len(ts)),
+		total:       len(ts),
+		budget:      budget,
+		submittedAt: now,
+		perWorker:   map[string]*workerTally{},
+	}
+	j.queue.PushAll(ts)
+	j.totalWork = j.queue.TotalSize()
+	d.liftTenantLocked(tenant) // before j joins the queues and looks live
+	d.jobsByID[j.id] = j
+	d.order = append(d.order, j)
+	d.pending = append(d.pending, j)
+	d.tasksSubmitted += j.total
+	d.met.submitted.Inc()
+	ems := emits{{queued: &observe.JobQueued{
+		ID:       j.id,
+		Tenant:   j.tenant,
+		Priority: j.priority,
+		Tasks:    j.total,
+		Queued:   len(d.pending),
+		At:       d.sinceStart(now),
+	}}}
+	ems = append(ems, d.admitLocked(now)...)
+	info := d.infoLocked(j)
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.emit(ems)
+	return info, nil
+}
+
+// liftTenantLocked implements the fair-share no-hoarding rule: a
+// tenant submitting after an idle spell (no pending or active jobs)
+// is lifted to the minimum virtual time among live tenants, so credit
+// accrued by absence cannot starve everyone else. Caller holds mu.
+func (d *Dispatcher) liftTenantLocked(tenant string) {
+	if d.policy != PolicyFair {
+		return
+	}
+	live := func(t string) bool {
+		for _, j := range d.pending {
+			if j.tenant == t {
+				return true
+			}
+		}
+		for _, j := range d.active {
+			if j.tenant == t {
+				return true
+			}
+		}
+		return false
+	}
+	if live(tenant) {
+		return // already competing: no adjustment mid-stream
+	}
+	minVT := math.Inf(1)
+	any := false
+	for t := range d.served {
+		if t != tenant && live(t) {
+			if vt := d.served[t] / d.weight(t); vt < minVT {
+				minVT = vt
+				any = true
+			}
+		}
+	}
+	w := d.weight(tenant)
+	if any && minVT > d.served[tenant]/w {
+		d.served[tenant] = minVT * w
+	}
+}
+
+// weight is a tenant's fair-share weight (1 when unconfigured).
+func (d *Dispatcher) weight(tenant string) float64 {
+	if w, ok := d.cfg.Weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// pickLocked chooses the next pending job under the admission policy.
+// Caller holds mu; pending must be non-empty.
+func (d *Dispatcher) pickLocked() *job {
+	switch d.policy {
+	case PolicyPriority:
+		best := d.pending[0]
+		for _, j := range d.pending[1:] {
+			if j.priority > best.priority {
+				best = j // ties keep the earlier submission
+			}
+		}
+		return best
+	case PolicyFair:
+		// One head per tenant (pending is submission-ordered, so the
+		// first job seen per tenant is its head), then the head of the
+		// furthest-behind tenant; ties go to the earlier submission.
+		var best *job
+		bestVT := math.Inf(1)
+		seen := map[string]struct{}{}
+		for _, j := range d.pending {
+			if _, dup := seen[j.tenant]; dup {
+				continue
+			}
+			seen[j.tenant] = struct{}{}
+			if vt := d.served[j.tenant] / d.weight(j.tenant); vt < bestVT {
+				best, bestVT = j, vt
+			}
+		}
+		return best
+	default: // PolicyFIFO
+		return d.pending[0]
+	}
+}
+
+// admitLocked starts pending jobs while active slots are free: pick
+// under the policy, lease workers, charge the fair-share ledger, and
+// launch the job's scheduling runner. Caller holds mu.
+func (d *Dispatcher) admitLocked(now time.Time) emits {
+	var ems emits
+	for len(d.active) < d.maxAct && len(d.pending) > 0 {
+		j := d.pickLocked()
+		d.pending = removeJob(d.pending, j)
+		j.state = StateRunning
+		j.startedAt = now
+		d.active = append(d.active, j)
+		if d.policy == PolicyFair {
+			d.served[j.tenant] += float64(j.totalWork)
+		}
+		d.rebalanceLocked()
+		waited := now.Sub(j.submittedAt).Seconds()
+		d.met.schedLatency.Observe(waited)
+		ems = append(ems, event{started: &observe.JobStarted{
+			ID:      j.id,
+			Tenant:  j.tenant,
+			Workers: j.leased,
+			Waited:  units.Seconds(waited),
+			At:      d.sinceStart(now),
+		}})
+		go d.runJob(j)
+	}
+	return ems
+}
+
+// rebalanceLocked assigns every free (unleased) worker to the active
+// job furthest below its weight-proportional share. Leases are sticky:
+// a worker stays with its job until the job ends or the worker leaves,
+// so running batches keep a stable worker set. Caller holds mu.
+func (d *Dispatcher) rebalanceLocked() {
+	if len(d.active) == 0 {
+		return
+	}
+	for _, w := range d.workers {
+		if w.gone || w.lease != nil {
+			continue
+		}
+		best := d.active[0]
+		bestKey := float64(best.leased) / d.weight(best.tenant)
+		for _, j := range d.active[1:] {
+			if key := float64(j.leased) / d.weight(j.tenant); key < bestKey {
+				best, bestKey = j, key
+			}
+		}
+		w.lease = best
+		best.leased++
+	}
+	d.cond.Broadcast()
+}
+
+// finishLocked moves a job to a terminal state: removes it from the
+// queues, releases its worker leases, discards its unscheduled and
+// outstanding tasks, and admits successors. Outstanding tasks already
+// on workers cannot be recalled (the protocol has no abort message) —
+// their eventual done reports no longer resolve and are ignored.
+// Caller holds mu; no-op if the job is already terminal.
+func (d *Dispatcher) finishLocked(j *job, state, errMsg string, now time.Time) emits {
+	if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+		return emits{}
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finishedAt = now
+	d.pending = removeJob(d.pending, j)
+	d.active = removeJob(d.active, j)
+	for _, w := range d.workers {
+		if w.lease == j {
+			w.lease = nil
+		}
+		for wid, p := range w.outstanding {
+			if p.j == j {
+				delete(w.outstanding, wid)
+				w.pending -= p.t.Size
+				if w.pending < 0 {
+					w.pending = 0
+				}
+			}
+		}
+	}
+	j.leased = 0
+	j.queue.PopN(j.queue.Len()) // drop the unscheduled remainder
+	switch state {
+	case StateDone:
+		d.doneCount++
+		d.met.finishedDone.Inc()
+	case StateFailed:
+		d.failedCount++
+		d.met.finishedFailed.Inc()
+	case StateCancelled:
+		d.cancelCount++
+		d.met.finishedCancelled.Inc()
+	}
+	var dur float64
+	if !j.startedAt.IsZero() {
+		dur = now.Sub(j.startedAt).Seconds()
+	}
+	ems := emits{{done: &observe.JobDone{
+		ID:        j.id,
+		Tenant:    j.tenant,
+		State:     state,
+		Completed: j.completed,
+		Retries:   j.retries,
+		Duration:  units.Seconds(dur),
+		At:        d.sinceStart(now),
+	}}}
+	d.trimLocked()
+	ems = append(ems, d.admitLocked(now)...)
+	d.rebalanceLocked()
+	d.cond.Broadcast()
+	return ems
+}
+
+// trimLocked evicts the oldest terminal jobs beyond the retention cap
+// so a long-lived dispatcher's memory stays bounded. Caller holds mu.
+func (d *Dispatcher) trimLocked() {
+	terminal := 0
+	for _, j := range d.order {
+		if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+			terminal++
+		}
+	}
+	for i := 0; terminal > d.retain && i < len(d.order); {
+		j := d.order[i]
+		if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+			delete(d.jobsByID, j.id)
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			terminal--
+			continue
+		}
+		i++
+	}
+}
+
+// removeJob removes j from s preserving order; no-op if absent.
+func removeJob(s []*job, j *job) []*job {
+	for i, x := range s {
+		if x == j {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Status returns one job's current state.
+func (d *Dispatcher) Status(id string) (dist.JobInfo, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobsByID[id]
+	if !ok {
+		return dist.JobInfo{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	return d.infoLocked(j), nil
+}
+
+// Queue returns every retained job — queued, running and terminal —
+// in submission order.
+func (d *Dispatcher) Queue() []dist.JobInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]dist.JobInfo, len(d.order))
+	for i, j := range d.order {
+		out[i] = d.infoLocked(j)
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. Cancelling a running job
+// releases its leased workers immediately (the next job starts right
+// away); tasks already on workers cannot be recalled and their late
+// reports are ignored. Cancelling a terminal job is an error.
+func (d *Dispatcher) Cancel(id string) (dist.JobInfo, error) {
+	now := time.Now()
+	d.mu.Lock()
+	j, ok := d.jobsByID[id]
+	if !ok {
+		d.mu.Unlock()
+		return dist.JobInfo{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	if j.state != StateQueued && j.state != StateRunning {
+		state := j.state
+		d.mu.Unlock()
+		return dist.JobInfo{}, fmt.Errorf("jobs: job %s already %s", id, state)
+	}
+	ems := d.finishLocked(j, StateCancelled, "", now)
+	info := d.infoLocked(j)
+	d.mu.Unlock()
+	d.emit(ems)
+	return info, nil
+}
+
+// Result returns a terminal job's outcome; requesting a queued or
+// running job's result is an error.
+func (d *Dispatcher) Result(id string) (dist.JobResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobsByID[id]
+	if !ok {
+		return dist.JobResult{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	if j.state == StateQueued || j.state == StateRunning {
+		return dist.JobResult{}, fmt.Errorf("jobs: job %s still %s", id, j.state)
+	}
+	res := dist.JobResult{
+		ID:        j.id,
+		Tenant:    j.tenant,
+		State:     j.state,
+		Tasks:     j.total,
+		Completed: j.completed,
+		Retries:   j.retries,
+		Error:     j.errMsg,
+		Elapsed:   j.elapsedSum,
+		Duration:  float64(d.sinceStart(j.finishedAt) - d.sinceStart(j.startedAt)),
+	}
+	if j.startedAt.IsZero() {
+		res.Duration = 0
+	}
+	names := make([]string, 0, len(j.perWorker))
+	for name := range j.perWorker {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := j.perWorker[name]
+		res.Workers = append(res.Workers, dist.JobWorkerResult{
+			Name:  name,
+			Tasks: t.tasks,
+			Work:  float64(t.work),
+		})
+	}
+	return res, nil
+}
+
+// Wait blocks until the job reaches a terminal state, the timeout
+// elapses (non-positive waits indefinitely), or the dispatcher
+// closes.
+func (d *Dispatcher) Wait(id string, timeout time.Duration) (dist.JobInfo, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		t := time.AfterFunc(timeout, func() {
+			d.mu.Lock()
+			d.cond.Broadcast()
+			d.mu.Unlock()
+		})
+		defer t.Stop()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		j, ok := d.jobsByID[id]
+		if !ok {
+			return dist.JobInfo{}, fmt.Errorf("jobs: unknown job %q", id)
+		}
+		if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+			return d.infoLocked(j), nil
+		}
+		if d.closed {
+			return d.infoLocked(j), errors.New("jobs: dispatcher closed")
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return d.infoLocked(j), fmt.Errorf("jobs: job %s still %s after %v", id, j.state, timeout)
+		}
+		d.cond.Wait()
+	}
+}
+
+// infoLocked builds a job's external view. Caller holds mu.
+func (d *Dispatcher) infoLocked(j *job) dist.JobInfo {
+	info := dist.JobInfo{
+		ID:          j.id,
+		Tenant:      j.tenant,
+		Priority:    j.priority,
+		State:       j.state,
+		Scheduler:   j.schName,
+		Tasks:       j.total,
+		Completed:   j.completed,
+		Retries:     j.retries,
+		RetryBudget: j.budget,
+		Workers:     j.leased,
+		Error:       j.errMsg,
+		SubmittedAt: float64(d.sinceStart(j.submittedAt)),
+		StartedAt:   float64(d.sinceStart(j.startedAt)),
+		FinishedAt:  float64(d.sinceStart(j.finishedAt)),
+	}
+	if j.state == StateQueued {
+		for i, p := range d.pending {
+			if p == j {
+				info.Position = i + 1
+				break
+			}
+		}
+	}
+	return info
+}
+
+// Snapshot returns the dispatcher's operational view in the same
+// shape a dist.Server serves, with the job counts block filled in.
+func (d *Dispatcher) Snapshot() dist.Snapshot {
+	d.mu.Lock()
+	snap := dist.Snapshot{
+		Uptime:    d.sinceStart(time.Now()),
+		Submitted: d.tasksSubmitted,
+		Completed: d.tasksDone,
+		Reissued:  d.reissued,
+		Batches:   d.batches,
+		Jobs: &dist.JobCounts{
+			Queued:    len(d.pending),
+			Running:   len(d.active),
+			Done:      d.doneCount,
+			Failed:    d.failedCount,
+			Cancelled: d.cancelCount,
+		},
+	}
+	for _, j := range d.pending {
+		snap.Pending += j.queue.Len()
+	}
+	for _, j := range d.active {
+		snap.Pending += j.queue.Len()
+	}
+	for _, w := range d.workers {
+		snap.Running += len(w.outstanding)
+		snap.Workers = append(snap.Workers, dist.WorkerSnapshot{
+			Name:      w.name,
+			Rate:      units.Rate(w.rate.ValueOr(float64(w.claimed))),
+			Running:   len(w.outstanding),
+			Completed: w.completed,
+		})
+	}
+	var window []float64
+	if d.latN > 0 {
+		window = make([]float64, d.latN)
+		first := d.latW - d.latN
+		if first < 0 {
+			first += latencyWindow
+		}
+		for i := 0; i < d.latN; i++ {
+			window[i] = d.latency[(first+i)%latencyWindow]
+		}
+	}
+	d.mu.Unlock()
+	if len(window) > 0 {
+		snap.Latency = dist.LatencySummary{
+			Samples: len(window),
+			P50:     units.Seconds(stats.Quantile(window, 0.50)),
+			P90:     units.Seconds(stats.Quantile(window, 0.90)),
+			P99:     units.Seconds(stats.Quantile(window, 0.99)),
+		}
+	}
+	if d.cfg.Events != nil {
+		snap.Watchers = d.cfg.Events.Watchers()
+	}
+	return snap
+}
+
+// observeLatencyLocked appends one dispatch→done round trip to the
+// sliding window. Caller holds mu.
+func (d *Dispatcher) observeLatencyLocked(sec float64) {
+	if d.latency == nil {
+		d.latency = make([]float64, latencyWindow)
+	}
+	d.latency[d.latW] = sec
+	d.latW = (d.latW + 1) % latencyWindow
+	if d.latN < latencyWindow {
+		d.latN++
+	}
+}
+
+// ListenAndServe listens on addr and serves connections until Close.
+// Like net/http, it returns nil when shut down with Close.
+func (d *Dispatcher) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return d.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close, taking ownership of the
+// listener. Returns nil when closed.
+func (d *Dispatcher) Serve(ln net.Listener) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	d.ln = ln
+	d.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			d.mu.Lock()
+			closed := d.closed
+			d.mu.Unlock()
+			if closed || dist.IsClosedErr(err) {
+				return nil
+			}
+			return err
+		}
+		go d.handleConn(conn)
+	}
+}
+
+// Addr returns the listening address, or nil before Serve installed a
+// listener.
+func (d *Dispatcher) Addr() net.Addr {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ln == nil {
+		return nil
+	}
+	return d.ln.Addr()
+}
+
+// Close shuts the dispatcher down: listener and worker connections are
+// closed, runners stop, blocked Wait calls return. Queued and running
+// jobs stay in their last state — Close is shutdown, not cancellation.
+// Idempotent.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	ln := d.ln
+	conns := make([]net.Conn, len(d.workers))
+	for i, w := range d.workers {
+		conns[i] = w.conn
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	if d.cfg.Events != nil {
+		d.cfg.Events.Close()
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package jobs
+
+import (
+	"pnsched/internal/telemetry"
+)
+
+// jobMetrics holds the dispatcher's telemetry instruments. As with the
+// dist server's serverMetrics, the zero value (telemetry disabled) is
+// fully usable: every instrument is nil and the telemetry instruments
+// are nil-safe no-ops.
+type jobMetrics struct {
+	submitted         *telemetry.Counter
+	finishedDone      *telemetry.Counter
+	finishedFailed    *telemetry.Counter
+	finishedCancelled *telemetry.Counter
+	tasksCompleted    *telemetry.Counter
+	reissuedTasks     *telemetry.Counter
+	dispatched        *telemetry.Counter
+	batchesTotal      *telemetry.Counter
+	decodeErrors      *telemetry.Counter
+
+	schedLatency    *telemetry.Histogram
+	dispatchLatency *telemetry.Histogram
+	batchWall       *telemetry.Histogram
+}
+
+// newJobMetrics registers the pnsched_jobs_* instrument families and
+// the dispatcher's scrape-time collectors on reg. Names are disjoint
+// from the dist server's pnsched_* families so a process hosting both
+// can share one registry.
+func newJobMetrics(reg *telemetry.Registry, d *Dispatcher) *jobMetrics {
+	m := &jobMetrics{
+		submitted: reg.Counter("pnsched_jobs_submitted_total",
+			"Jobs accepted by the dispatcher over its lifetime."),
+		finishedDone: reg.Counter("pnsched_jobs_finished_total",
+			"Jobs reaching a terminal state, by state.",
+			telemetry.L("state", StateDone)),
+		finishedFailed: reg.Counter("pnsched_jobs_finished_total",
+			"Jobs reaching a terminal state, by state.",
+			telemetry.L("state", StateFailed)),
+		finishedCancelled: reg.Counter("pnsched_jobs_finished_total",
+			"Jobs reaching a terminal state, by state.",
+			telemetry.L("state", StateCancelled)),
+		tasksCompleted: reg.Counter("pnsched_jobs_tasks_completed_total",
+			"Tasks acknowledged done across all jobs."),
+		reissuedTasks: reg.Counter("pnsched_jobs_tasks_reissued_total",
+			"Tasks pulled back from departed workers and requeued (each one spends a retry)."),
+		dispatched: reg.Counter("pnsched_jobs_tasks_dispatched_total",
+			"Tasks sent to leased workers (reissues dispatch again)."),
+		batchesTotal: reg.Counter("pnsched_jobs_batches_total",
+			"Committed batch-scheduling decisions across all jobs."),
+		decodeErrors: reg.Counter("pnsched_jobs_protocol_decode_errors_total",
+			"Malformed or invalid wire frames received by the dispatcher."),
+		schedLatency: reg.Histogram("pnsched_jobs_scheduling_latency_seconds",
+			"Submission-to-start wait per job (time spent queued).",
+			telemetry.ExpBuckets(0.001, 4, 10)),
+		dispatchLatency: reg.Histogram("pnsched_jobs_dispatch_latency_seconds",
+			"Dispatch-to-done wall-clock round trip per task.",
+			telemetry.ExpBuckets(0.001, 4, 10)),
+		batchWall: reg.Histogram("pnsched_jobs_batch_wall_seconds",
+			"Wall-clock time one ScheduleBatch call took.",
+			telemetry.ExpBuckets(0.0001, 4, 10)),
+	}
+
+	reg.SampleFunc("pnsched_jobs_queue_depth",
+		"Queued (not yet started) jobs per tenant.", true,
+		func() []telemetry.Sample {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			depth := map[string]int{}
+			for _, j := range d.pending {
+				depth[j.tenant]++
+			}
+			var out []telemetry.Sample
+			for tenant, n := range depth {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{telemetry.L("tenant", tenant)},
+					Value:  float64(n),
+				})
+			}
+			return out
+		})
+	reg.SampleFunc("pnsched_jobs_by_state",
+		"Jobs by state: queued/running are current, terminal states are lifetime totals.", true,
+		func() []telemetry.Sample {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			counts := []struct {
+				state string
+				n     int
+			}{
+				{StateQueued, len(d.pending)},
+				{StateRunning, len(d.active)},
+				{StateDone, d.doneCount},
+				{StateFailed, d.failedCount},
+				{StateCancelled, d.cancelCount},
+			}
+			out := make([]telemetry.Sample, 0, len(counts))
+			for _, c := range counts {
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{telemetry.L("state", c.state)},
+					Value:  float64(c.n),
+				})
+			}
+			return out
+		})
+	reg.GaugeFunc("pnsched_jobs_workers",
+		"Currently connected workers in the dispatcher pool.", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(len(d.workers))
+		})
+	reg.GaugeFunc("pnsched_jobs_workers_leased",
+		"Workers currently leased to a running job.", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			n := 0
+			for _, w := range d.workers {
+				if w.lease != nil {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("pnsched_jobs_pending_tasks",
+		"Unscheduled tasks across queued and running jobs.", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			n := 0
+			for _, j := range d.pending {
+				n += j.queue.Len()
+			}
+			for _, j := range d.active {
+				n += j.queue.Len()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("pnsched_jobs_running_tasks",
+		"Tasks dispatched to leased workers but not yet reported done.", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			n := 0
+			for _, w := range d.workers {
+				n += len(w.outstanding)
+			}
+			return float64(n)
+		})
+
+	if b := d.cfg.Events; b != nil {
+		reg.SampleFunc("pnsched_jobs_events_published_total",
+			"Event frames published to the dispatcher broadcaster.", false,
+			func() []telemetry.Sample {
+				return []telemetry.Sample{{Value: float64(b.Published())}}
+			})
+		reg.SampleFunc("pnsched_jobs_events_dropped_total",
+			"Event frames dropped across all dispatcher watchers.", false,
+			func() []telemetry.Sample {
+				return []telemetry.Sample{{Value: float64(b.DroppedTotal())}}
+			})
+	}
+	return m
+}

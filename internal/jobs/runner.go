@@ -1,0 +1,215 @@
+package jobs
+
+import (
+	"time"
+
+	"pnsched/internal/dist"
+	"pnsched/internal/observe"
+	"pnsched/internal/sched"
+	"pnsched/internal/units"
+)
+
+// runJob is one running job's scheduling loop — the per-job analogue
+// of dist.Server.scheduleLoop. It paces on the same condition (queued
+// work exists and a leased worker runs low), snapshots only the job's
+// leased workers, runs the job's own batch scheduler outside the lock,
+// and dispatches the assignment. The goroutine exits when the job
+// leaves StateRunning or the dispatcher closes.
+func (d *Dispatcher) runJob(j *job) {
+	for {
+		d.mu.Lock()
+		for !d.closed && j.state == StateRunning && !d.schedulableLocked(j) {
+			d.cond.Wait()
+		}
+		if d.closed || j.state != StateRunning {
+			d.mu.Unlock()
+			return
+		}
+		snap := d.jobSnapshotLocked(j)
+		n := sched.DefaultBatchSize
+		if bs, ok := j.sch.(sched.BatchSizer); ok {
+			n = bs.NextBatchSize(j.queue.Len(), snap)
+		}
+		if n > j.queue.Len() {
+			n = j.queue.Len()
+		}
+		if n < 1 {
+			n = 1
+		}
+		batch := j.queue.PopN(n)
+		d.mu.Unlock()
+
+		// The scheduler (possibly a GA) runs for real wall-clock time
+		// here; the lock is free so done reports, joins and submissions
+		// keep flowing.
+		t0 := time.Now()
+		asg, cost := j.sch.ScheduleBatch(batch, snap)
+		wall := time.Since(t0).Seconds()
+		d.met.batchWall.Observe(wall)
+		d.met.batchesTotal.Inc()
+
+		d.mu.Lock()
+		d.batches++
+		j.batches++
+		invocation := j.batches
+		d.mu.Unlock()
+		d.log.Info("batch scheduled", "job", j.id, "tasks", len(batch),
+			"workers", snap.M(), "cost", float64(cost), "wall", wall)
+		if d.observer != nil {
+			d.observer.OnBatchDecided(observe.BatchDecision{
+				Invocation: invocation,
+				Scheduler:  j.schName,
+				Tasks:      len(batch),
+				Procs:      snap.M(),
+				Cost:       cost,
+				At:         d.sinceStart(time.Now()),
+				Wall:       units.Seconds(wall),
+			})
+		}
+
+		d.mu.Lock()
+		dispatched := d.dispatchLocked(j, snap.workers, asg) //pnanalyze:ok locksend — its only I/O is Conn.Close on a wedged peer, which does not block
+		d.mu.Unlock()
+		if d.observer != nil {
+			for _, ev := range dispatched {
+				d.observer.OnDispatch(ev)
+			}
+		}
+	}
+}
+
+// schedulableLocked reports whether a running job can make progress
+// right now: it has unscheduled tasks and a live leased worker running
+// low on dispatched work. Caller holds mu.
+func (d *Dispatcher) schedulableLocked(j *job) bool {
+	if j.queue.Empty() {
+		return false
+	}
+	for _, w := range d.workers {
+		if w.lease == j && !w.gone && len(w.outstanding) < d.backlog {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchLocked sends an assignment (computed over the job's leased
+// workers) to those workers. Each task gets a fresh dispatcher-global
+// wire ID so concurrent jobs' task ID spaces never alias on a
+// connection; the original task is kept for requeueing. Tasks assigned
+// to a worker that left, lost its lease, or whose job went terminal
+// while the scheduler ran are pushed back silently — they were never
+// sent, so no retry is charged. Caller holds mu; the returned dispatch
+// events are emitted after unlock.
+func (d *Dispatcher) dispatchLocked(j *job, workers []*worker, asg sched.Assignment) []observe.Dispatch {
+	now := time.Now()
+	at := d.sinceStart(now)
+	var events []observe.Dispatch
+	for idx, ts := range asg {
+		if len(ts) == 0 {
+			continue
+		}
+		if j.state != StateRunning || d.closed {
+			j.queue.PushAll(ts)
+			continue
+		}
+		w := workers[idx]
+		if w.gone || w.lease != j {
+			j.queue.PushAll(ts)
+			continue
+		}
+		solo := len(w.outstanding) == 0
+		d.met.dispatched.Add(float64(len(ts)))
+		wire := dist.TasksToWire(ts)
+		for i, t := range ts {
+			d.nextWire++
+			wire[i].ID = d.nextWire
+			w.outstanding[d.nextWire] = pendingTask{j: j, t: t, sentAt: now, solo: solo}
+			w.pending += t.Size
+			solo = false
+			if d.observer != nil {
+				events = append(events, observe.Dispatch{Proc: idx, Task: t.ID, At: at})
+			}
+		}
+		m := dist.Message{Type: dist.MsgAssign, Tasks: wire}
+		select {
+		case w.out <- m:
+		default:
+			// The writer is wedged (worker stopped reading); drop the
+			// connection — unregister will reissue everything.
+			w.conn.Close()
+		}
+	}
+	d.cond.Broadcast()
+	return events
+}
+
+// jobSnapshot implements sched.State over a fixed view of one job's
+// leased workers, so the job's batch scheduler sees a coherent system
+// while the live one keeps moving underneath.
+type jobSnapshot struct {
+	workers []*worker
+	rates   []units.Rate
+	loads   []units.MFlops
+	comm    []units.Seconds
+	now     units.Seconds
+}
+
+// jobSnapshotLocked captures the scheduler-visible state for one job:
+// its live leased workers, in pool order. Caller holds mu.
+func (d *Dispatcher) jobSnapshotLocked(j *job) *jobSnapshot {
+	v := &jobSnapshot{now: d.sinceStart(time.Now())}
+	for _, w := range d.workers {
+		if w.lease != j || w.gone {
+			continue
+		}
+		v.workers = append(v.workers, w)
+		v.rates = append(v.rates, units.Rate(w.rate.ValueOr(float64(w.claimed))))
+		v.loads = append(v.loads, w.pending)
+		v.comm = append(v.comm, units.Seconds(w.comm.ValueOr(0)))
+	}
+	return v
+}
+
+// M implements sched.State.
+func (v *jobSnapshot) M() int { return len(v.workers) }
+
+// Rate implements sched.State.
+func (v *jobSnapshot) Rate(j int) units.Rate { return v.rates[j] }
+
+// PendingLoad implements sched.State.
+func (v *jobSnapshot) PendingLoad(j int) units.MFlops { return v.loads[j] }
+
+// CommEstimate implements sched.State.
+func (v *jobSnapshot) CommEstimate(j int) units.Seconds { return v.comm[j] }
+
+// Now implements sched.State; live time is wall-clock seconds since
+// the dispatcher started.
+func (v *jobSnapshot) Now() units.Seconds { return v.now }
+
+// TimeUntilFirstIdle implements sched.State with the same semantics as
+// the dist server's snapshot: the soonest moment a loaded worker runs
+// dry, 0 if some worker already idles while others hold work, +Inf
+// when nothing is loaded.
+func (v *jobSnapshot) TimeUntilFirstIdle() units.Seconds {
+	anyLoaded := false
+	min := units.Inf()
+	for j := range v.workers {
+		if v.loads[j] == 0 {
+			continue
+		}
+		anyLoaded = true
+		if d := v.loads[j].TimeOn(v.rates[j]); d < min {
+			min = d
+		}
+	}
+	if !anyLoaded {
+		return units.Inf()
+	}
+	for j := range v.workers {
+		if v.loads[j] == 0 {
+			return 0 // an idle worker exists while work is pending elsewhere
+		}
+	}
+	return min
+}

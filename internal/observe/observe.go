@@ -28,6 +28,21 @@
 // of the one shared vocabulary so wire subscribers can follow pool
 // churn with the same Observer they use for everything else.
 //
+// The multi-tenant job dispatcher (internal/jobs) adds a job
+// lifecycle vocabulary on top, carried by the optional JobObserver
+// extension interface rather than Observer itself so the many
+// existing Observer implementations stay source-compatible:
+//
+//   - JobQueued   — a job was admitted to the dispatcher queue
+//   - JobStarted  — a job left the queue and was leased workers
+//   - JobDone     — a job reached a terminal state (done, failed,
+//     or cancelled)
+//
+// Emitters deliver job events with EmitJobQueued/EmitJobStarted/
+// EmitJobDone, which type-assert the extension and no-op for plain
+// Observers. Funcs and Multi-composed observers forward job events
+// to every member that implements JobObserver.
+//
 // Implementations must be cheap and must not block: events are
 // delivered synchronously from the emitting runtime's hot path. For
 // island-model runs, GenerationBest, Migration and BudgetStop may be
@@ -164,6 +179,62 @@ type WorkerLeft struct {
 	At units.Seconds
 }
 
+// JobQueued reports a job admitted to the dispatcher queue.
+type JobQueued struct {
+	// ID is the dispatcher-assigned job identity.
+	ID string
+	// Tenant is the submitting tenant.
+	Tenant string
+	// Priority is the job's admission priority (higher first under the
+	// priority policy).
+	Priority int
+	// Tasks is the number of tasks the job carries.
+	Tasks int
+	// Queued is the number of queued (not yet started) jobs after this
+	// enqueue.
+	Queued int
+	// At is the enqueue time in seconds since the dispatcher started.
+	At units.Seconds
+}
+
+// JobStarted reports a job leaving the queue: it was admitted to run
+// and leased its initial worker set.
+type JobStarted struct {
+	// ID is the job identity.
+	ID string
+	// Tenant is the submitting tenant.
+	Tenant string
+	// Workers is the number of workers leased to the job at start
+	// (zero when the job starts ahead of any worker joining).
+	Workers int
+	// Waited is the time the job spent queued, in seconds.
+	Waited units.Seconds
+	// At is the start time in seconds since the dispatcher started.
+	At units.Seconds
+}
+
+// JobDone reports a job reaching a terminal state.
+type JobDone struct {
+	// ID is the job identity.
+	ID string
+	// Tenant is the submitting tenant.
+	Tenant string
+	// State is the terminal state: "done", "failed" or "cancelled".
+	State string
+	// Completed is the number of tasks that finished before the
+	// terminal state (equal to the job's task count when State is
+	// "done").
+	Completed int
+	// Retries is the number of task reissues the job consumed from its
+	// retry budget.
+	Retries int
+	// Duration is start→finish wall time in seconds (zero when the job
+	// never started).
+	Duration units.Seconds
+	// At is the finish time in seconds since the dispatcher started.
+	At units.Seconds
+}
+
 // Observer receives scheduling events. All methods must be safe to
 // call with the zero value of their event's optional fields;
 // implementations that only care about a subset should embed Funcs
@@ -179,8 +250,42 @@ type Observer interface {
 	OnWorkerLeft(WorkerLeft)
 }
 
+// JobObserver is the optional extension an Observer implements to
+// receive the job dispatcher's lifecycle events. It is a separate
+// interface (checked by type assertion, like http.Flusher) so the
+// Observer interface — and every existing implementation of it —
+// stays frozen while the vocabulary grows.
+type JobObserver interface {
+	OnJobQueued(JobQueued)
+	OnJobStarted(JobStarted)
+	OnJobDone(JobDone)
+}
+
+// EmitJobQueued delivers e to o if o implements JobObserver.
+func EmitJobQueued(o Observer, e JobQueued) {
+	if j, ok := o.(JobObserver); ok {
+		j.OnJobQueued(e)
+	}
+}
+
+// EmitJobStarted delivers e to o if o implements JobObserver.
+func EmitJobStarted(o Observer, e JobStarted) {
+	if j, ok := o.(JobObserver); ok {
+		j.OnJobStarted(e)
+	}
+}
+
+// EmitJobDone delivers e to o if o implements JobObserver.
+func EmitJobDone(o Observer, e JobDone) {
+	if j, ok := o.(JobObserver); ok {
+		j.OnJobDone(e)
+	}
+}
+
 // Funcs adapts plain functions to Observer; nil fields ignore their
-// event. The zero Funcs is a valid no-op Observer.
+// event. The zero Funcs is a valid no-op Observer. Funcs also
+// implements JobObserver, so the job-lifecycle fields receive the
+// dispatcher's events when set.
 type Funcs struct {
 	BatchDecided   func(BatchDecision)
 	GenerationBest func(GenerationBest)
@@ -190,6 +295,9 @@ type Funcs struct {
 	EvolveDone     func(EvolveDone)
 	WorkerJoined   func(WorkerJoined)
 	WorkerLeft     func(WorkerLeft)
+	JobQueued      func(JobQueued)
+	JobStarted     func(JobStarted)
+	JobDone        func(JobDone)
 }
 
 // OnBatchDecided implements Observer.
@@ -248,6 +356,27 @@ func (f Funcs) OnWorkerLeft(e WorkerLeft) {
 	}
 }
 
+// OnJobQueued implements JobObserver.
+func (f Funcs) OnJobQueued(e JobQueued) {
+	if f.JobQueued != nil {
+		f.JobQueued(e)
+	}
+}
+
+// OnJobStarted implements JobObserver.
+func (f Funcs) OnJobStarted(e JobStarted) {
+	if f.JobStarted != nil {
+		f.JobStarted(e)
+	}
+}
+
+// OnJobDone implements JobObserver.
+func (f Funcs) OnJobDone(e JobDone) {
+	if f.JobDone != nil {
+		f.JobDone(e)
+	}
+}
+
 // multi fans every event out to several observers in order.
 type multi []Observer
 
@@ -296,6 +425,30 @@ func (m multi) OnWorkerJoined(e WorkerJoined) {
 func (m multi) OnWorkerLeft(e WorkerLeft) {
 	for _, o := range m {
 		o.OnWorkerLeft(e)
+	}
+}
+
+// OnJobQueued implements JobObserver, forwarding to every member that
+// implements it.
+func (m multi) OnJobQueued(e JobQueued) {
+	for _, o := range m {
+		EmitJobQueued(o, e)
+	}
+}
+
+// OnJobStarted implements JobObserver, forwarding to every member
+// that implements it.
+func (m multi) OnJobStarted(e JobStarted) {
+	for _, o := range m {
+		EmitJobStarted(o, e)
+	}
+}
+
+// OnJobDone implements JobObserver, forwarding to every member that
+// implements it.
+func (m multi) OnJobDone(e JobDone) {
+	for _, o := range m {
+		EmitJobDone(o, e)
 	}
 }
 

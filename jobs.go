@@ -1,0 +1,395 @@
+package pnsched
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"pnsched/internal/dist"
+	"pnsched/internal/jobs"
+	"pnsched/internal/observe"
+	"pnsched/internal/telemetry"
+)
+
+// The job-service vocabulary, re-exported like alias.go's: the types
+// live in internal/ and these aliases are identical types.
+type (
+	// JobInfo is one job's externally visible state, as returned by
+	// submit/status/cancel and listed by JobQueue.
+	JobInfo = dist.JobInfo
+	// JobResult is a terminal job's outcome: counters, timings, and
+	// the per-worker completion tallies.
+	JobResult = dist.JobResult
+	// JobWorkerResult is one worker's share of a JobResult.
+	JobWorkerResult = dist.JobWorkerResult
+	// JobCounts breaks a dispatcher's jobs down by state in a stats
+	// snapshot.
+	JobCounts = dist.JobCounts
+	// JobObserver is the optional Observer extension that receives the
+	// job lifecycle events.
+	JobObserver = observe.JobObserver
+	// The job lifecycle event payloads.
+	JobQueuedEvent  = observe.JobQueued
+	JobStartedEvent = observe.JobStarted
+	JobDoneEvent    = observe.JobDone
+
+	// AdmissionPolicy selects how a dispatcher orders queued jobs.
+	AdmissionPolicy = jobs.Policy
+)
+
+// The admission policies a job dispatcher can run.
+const (
+	// AdmissionFIFO admits jobs in submission order.
+	AdmissionFIFO = jobs.PolicyFIFO
+	// AdmissionPriority admits the highest-priority job first.
+	AdmissionPriority = jobs.PolicyPriority
+	// AdmissionFairShare admits by weighted fair share across tenants.
+	AdmissionFairShare = jobs.PolicyFair
+)
+
+// Job states as reported in JobInfo.State.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobDone      = jobs.StateDone
+	JobFailed    = jobs.StateFailed
+	JobCancelled = jobs.StateCancelled
+)
+
+// JobRequest describes one job to submit: the workload, the scheduler
+// spec it should run under, and its multi-tenant accounting identity.
+type JobRequest struct {
+	// Tenant is the fair-share accounting identity; empty selects
+	// "default".
+	Tenant string
+	// Priority orders jobs under AdmissionPriority (higher first);
+	// ignored by the other policies.
+	Priority int
+	// Scheduler is the per-job scheduler spec — the same vocabulary Run
+	// and Serve take. The zero Spec selects the paper's PN scheduler
+	// with its defaults.
+	Scheduler Spec
+	// Tasks is the workload; task IDs must be unique within the job.
+	Tasks []Task
+	// RetryBudget caps how many lost-worker reissues the job survives
+	// before failing. Nil selects the dispatcher's default; zero means
+	// any lost task fails the job.
+	RetryBudget *int
+}
+
+// JobsOption adjusts one ServeJobs invocation.
+type JobsOption func(*jobsOpts)
+
+type jobsOpts struct {
+	addr      string
+	ln        net.Listener
+	log       *slog.Logger
+	observer  Observer
+	policy    AdmissionPolicy
+	weights   map[string]float64
+	maxActive int
+	retry     int
+	retain    int
+	nu        float64
+	backlog   int
+	queue     int
+	replay    int
+	adminAddr string
+}
+
+// WithJobsListenAddr sets the TCP address the dispatcher listens on;
+// the default is an ephemeral loopback port, read back with
+// JobService.Addr.
+func WithJobsListenAddr(addr string) JobsOption { return func(o *jobsOpts) { o.addr = addr } }
+
+// WithJobsListener hands ServeJobs an existing listener instead of an
+// address; the service takes ownership and closes it on Close.
+func WithJobsListener(ln net.Listener) JobsOption { return func(o *jobsOpts) { o.ln = ln } }
+
+// WithJobsLog routes the dispatcher's structured logging to a slog
+// logger; the default is silent.
+func WithJobsLog(log *slog.Logger) JobsOption { return func(o *jobsOpts) { o.log = log } }
+
+// WithJobsObserver delivers the dispatcher's events — worker
+// lifecycle, batch decisions, dispatches, and (via JobObserver) the
+// job lifecycle — to an in-process observer.
+func WithJobsObserver(obs Observer) JobsOption { return func(o *jobsOpts) { o.observer = obs } }
+
+// WithAdmissionPolicy selects the admission policy; the default is
+// AdmissionFIFO.
+func WithAdmissionPolicy(p AdmissionPolicy) JobsOption { return func(o *jobsOpts) { o.policy = p } }
+
+// WithTenantWeight sets one tenant's fair-share weight (must be
+// positive; unconfigured tenants weigh 1). Only AdmissionFairShare
+// reads the weights.
+func WithTenantWeight(tenant string, weight float64) JobsOption {
+	return func(o *jobsOpts) {
+		if o.weights == nil {
+			o.weights = map[string]float64{}
+		}
+		o.weights[tenant] = weight
+	}
+}
+
+// WithMaxActiveJobs bounds how many jobs run concurrently; 0 selects
+// the default of 1, which keeps admission ordering exact.
+func WithMaxActiveJobs(n int) JobsOption { return func(o *jobsOpts) { o.maxActive = n } }
+
+// WithJobRetryBudget sets the default per-job reissue allowance for
+// submissions that carry none; 0 selects the package default (64).
+func WithJobRetryBudget(n int) JobsOption { return func(o *jobsOpts) { o.retry = n } }
+
+// WithJobRetention bounds how many terminal jobs stay queryable via
+// status/result; 0 selects the default (256).
+func WithJobRetention(n int) JobsOption { return func(o *jobsOpts) { o.retain = n } }
+
+// WithJobsSmoothing sets the §3.6 smoothing factor for worker rate and
+// link estimates (0 selects the paper's 0.5).
+func WithJobsSmoothing(nu float64) JobsOption { return func(o *jobsOpts) { o.nu = nu } }
+
+// WithJobsBacklog sets the per-worker outstanding-task threshold that
+// paces dispatch (0 selects the default of 4).
+func WithJobsBacklog(n int) JobsOption { return func(o *jobsOpts) { o.backlog = n } }
+
+// WithJobsEventQueue sets the per-watch-client event buffer in frames,
+// as WithEventQueue does for Serve.
+func WithJobsEventQueue(frames int) JobsOption { return func(o *jobsOpts) { o.queue = frames } }
+
+// WithJobsEventReplay sets the catch-up ring in frames, as
+// WithEventReplay does for Serve.
+func WithJobsEventReplay(frames int) JobsOption { return func(o *jobsOpts) { o.replay = frames } }
+
+// WithJobsAdminAddr additionally serves the HTTP admin endpoint
+// (/metrics with the pnsched_jobs_* families, /healthz,
+// /debug/pprof/) on the given address, as WithAdminAddr does for
+// Serve.
+func WithJobsAdminAddr(addr string) JobsOption { return func(o *jobsOpts) { o.adminAddr = addr } }
+
+// JobService is a live multi-tenant job dispatcher started with
+// ServeJobs. Workers connect exactly as they do to a Server (RunWorker
+// or the pnworker binary); clients submit jobs in-process through the
+// methods here or over the wire through SubmitJob and friends (the
+// pnjobs binary). All methods are safe for concurrent use.
+type JobService struct {
+	d      *jobs.Dispatcher
+	events *dist.Broadcaster
+	addr   net.Addr
+	stop   func() bool
+
+	adminLn  net.Listener
+	adminSrv *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
+	serveErr  chan error
+}
+
+// ServeJobs starts the multi-tenant job dispatcher: a persistent
+// service that owns a queue of jobs — each a workload with its own
+// scheduler Spec, tenant and priority — and schedules them over the
+// shared worker pool under the configured admission policy, leasing
+// workers to the active job and reclaiming them when it ends.
+//
+// Every job's scheduler is constructed through the same Spec registry
+// Run and Serve use, at submission time, so a bad spec is rejected
+// up front. Worker, batch, dispatch, and job lifecycle events reach
+// the WithJobsObserver observer and — as versioned event frames —
+// every remote Watch client.
+//
+// Cancelling ctx closes the service.
+func ServeJobs(ctx context.Context, opts ...JobsOption) (*JobService, error) {
+	jo := jobsOpts{addr: "127.0.0.1:0"}
+	for _, o := range opts {
+		o(&jo)
+	}
+
+	events := dist.NewBroadcaster(jo.queue, jo.replay)
+	reg := telemetry.NewRegistry()
+	// The dispatcher fans its own events to local+events; each job's
+	// scheduler gets the full chain so GA-level events stream too.
+	local := observe.Multi(jo.observer, dist.NewMetricsObserver(reg))
+	full := observe.Multi(local, events)
+
+	d, err := jobs.New(jobs.Config{
+		NewScheduler: func(raw json.RawMessage) (BatchScheduler, error) {
+			spec := Spec{}
+			if len(raw) > 0 {
+				if err := json.Unmarshal(raw, &spec); err != nil {
+					return nil, fmt.Errorf("pnsched: job spec: %w", err)
+				}
+			}
+			if spec.Name == "" {
+				spec.Name = "PN"
+			}
+			spec = spec.With(WithObserver(full))
+			sch, err := New(spec)
+			if err != nil {
+				return nil, err
+			}
+			batch, ok := sch.(BatchScheduler)
+			if !ok {
+				return nil, fmt.Errorf("pnsched: scheduler %s is immediate-mode; jobs need a batch scheduler", sch.Name())
+			}
+			return batch, nil
+		},
+		Policy:      jo.policy,
+		Weights:     jo.weights,
+		MaxActive:   jo.maxActive,
+		RetryBudget: jo.retry,
+		Retain:      jo.retain,
+		Log:         jo.log,
+		Observer:    local,
+		Events:      events,
+		Metrics:     reg,
+		Nu:          jo.nu,
+		Backlog:     jo.backlog,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ln := jo.ln
+	if ln == nil {
+		ln, err = net.Listen("tcp", jo.addr)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	s := &JobService{d: d, events: events, addr: ln.Addr(), serveErr: make(chan error, 1)}
+	if jo.adminAddr != "" {
+		adminLn, err := net.Listen("tcp", jo.adminAddr)
+		if err != nil {
+			d.Close()
+			ln.Close()
+			return nil, fmt.Errorf("pnsched: admin listener: %w", err)
+		}
+		s.adminLn = adminLn
+		s.adminSrv = &http.Server{Handler: telemetry.AdminMux(reg, nil)}
+		go s.adminSrv.Serve(adminLn)
+	}
+	go func() { s.serveErr <- d.Serve(ln) }()
+	if ctx != nil && ctx.Done() != nil {
+		s.stop = context.AfterFunc(ctx, func() { s.Close() })
+	}
+	return s, nil
+}
+
+// Addr returns the dispatcher's listening address — what workers,
+// watchers and job clients dial.
+func (s *JobService) Addr() net.Addr { return s.addr }
+
+// AdminAddr returns the admin HTTP endpoint's bound address, or nil
+// when the service was started without WithJobsAdminAddr.
+func (s *JobService) AdminAddr() net.Addr {
+	if s.adminLn == nil {
+		return nil
+	}
+	return s.adminLn.Addr()
+}
+
+// Submit validates and enqueues one job, returning its accepted state
+// (ID assigned, queued or already running).
+func (s *JobService) Submit(req JobRequest) (JobInfo, error) {
+	spec, err := json.Marshal(req.Scheduler)
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("pnsched: job spec: %w", err)
+	}
+	return s.d.Submit(dist.JobSubmission{
+		Tenant:      req.Tenant,
+		Priority:    req.Priority,
+		Spec:        spec,
+		RetryBudget: req.RetryBudget,
+		Tasks:       dist.TasksToWire(req.Tasks),
+	})
+}
+
+// Status returns one job's current state.
+func (s *JobService) Status(id string) (JobInfo, error) { return s.d.Status(id) }
+
+// Queue returns every retained job — queued, running and terminal —
+// in submission order.
+func (s *JobService) Queue() []JobInfo { return s.d.Queue() }
+
+// Cancel cancels a queued or running job; cancelling a running job
+// releases its leased workers immediately.
+func (s *JobService) Cancel(id string) (JobInfo, error) { return s.d.Cancel(id) }
+
+// Result returns a terminal job's outcome.
+func (s *JobService) Result(id string) (JobResult, error) { return s.d.Result(id) }
+
+// WaitJob blocks until the job reaches a terminal state, the timeout
+// elapses (non-positive waits indefinitely), or the service closes.
+func (s *JobService) WaitJob(id string, timeout time.Duration) (JobInfo, error) {
+	return s.d.Wait(id, timeout)
+}
+
+// Snapshot returns the dispatcher's operational snapshot — the same
+// shape Server.Snapshot returns, with the Jobs counts present.
+func (s *JobService) Snapshot() ServerSnapshot { return s.d.Snapshot() }
+
+// Close shuts the service down: the listener and worker connections
+// close, runners stop, blocked WaitJob calls return. Queued and
+// running jobs keep their last state — Close is shutdown, not
+// cancellation. Idempotent.
+func (s *JobService) Close() error {
+	s.closeOnce.Do(func() {
+		if s.stop != nil {
+			s.stop()
+		}
+		if s.adminSrv != nil {
+			s.adminSrv.Close()
+		}
+		s.closeErr = s.d.Close()
+		if err := <-s.serveErr; err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
+
+// SubmitJob submits one job to a dispatcher at addr over the wire
+// (protocol 1.3) — the client side of JobService.Submit, used by
+// `pnjobs submit`.
+func SubmitJob(ctx context.Context, addr string, req JobRequest) (JobInfo, error) {
+	spec, err := json.Marshal(req.Scheduler)
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("pnsched: job spec: %w", err)
+	}
+	return dist.SubmitJob(ctx, addr, dist.JobSubmission{
+		Tenant:      req.Tenant,
+		Priority:    req.Priority,
+		Spec:        spec,
+		RetryBudget: req.RetryBudget,
+		Tasks:       dist.TasksToWire(req.Tasks),
+	})
+}
+
+// JobStatus fetches one job's current state from a dispatcher at addr
+// — the client side of JobService.Status, used by `pnjobs status`.
+func JobStatus(ctx context.Context, addr, id string) (JobInfo, error) {
+	return dist.FetchJobStatus(ctx, addr, id)
+}
+
+// JobQueue fetches every job a dispatcher retains, in submission order
+// — used by `pnjobs queue`.
+func JobQueue(ctx context.Context, addr string) ([]JobInfo, error) {
+	return dist.FetchJobQueue(ctx, addr)
+}
+
+// CancelJob cancels one job over the wire — the client side of
+// JobService.Cancel, used by `pnjobs cancel`.
+func CancelJob(ctx context.Context, addr, id string) (JobInfo, error) {
+	return dist.CancelJob(ctx, addr, id)
+}
+
+// FetchResult fetches a terminal job's outcome over the wire — the
+// client side of JobService.Result, used by `pnjobs result`.
+func FetchResult(ctx context.Context, addr, id string) (JobResult, error) {
+	return dist.FetchJobResult(ctx, addr, id)
+}

@@ -1,11 +1,16 @@
 #!/bin/sh
 # adminsmoke: end-to-end smoke test of the HTTP admin endpoint.
 #
-# Starts a short-lived pnserver with -admin, curls /healthz and
-# /metrics, and asserts the scrape is Prometheus exposition format
+# Phase 1 starts a short-lived pnserver with -admin, curls /healthz
+# and /metrics, and asserts the scrape is Prometheus exposition format
 # carrying the pnsched instrument families. No workers connect; the
 # point is that the admin plane answers independently of scheduling
-# traffic. Run via `make admin-smoke`.
+# traffic.
+#
+# Phase 2 does the same for the job dispatcher: pnserver -jobs plus
+# one pnworker, a job submitted and run to completion with pnjobs,
+# and the pnsched_jobs_* families asserted non-zero on /metrics.
+# Run via `make admin-smoke`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,11 +29,13 @@ fetch() { # URL
 	fi
 }
 
-bin=$(mktemp -d)/pnserver
-trap 'kill "$pid" 2>/dev/null || true; rm -rf "$(dirname "$bin")"' EXIT
-go build -o "$bin" ./cmd/pnserver
+bindir=$(mktemp -d)
+# $pids is word-split on purpose; empty stages drop out of the kill.
+trap 'for p in $pid $jobspid $workerpid; do kill "$p" 2>/dev/null || true; done; rm -rf "$bindir"' EXIT
+pid= jobspid= workerpid=
+go build -o "$bindir" ./cmd/pnserver ./cmd/pnworker ./cmd/pnjobs
 
-"$bin" -listen 127.0.0.1:0 -admin "$addr" -tasks 50 -quiet &
+"$bindir/pnserver" -listen 127.0.0.1:0 -admin "$addr" -tasks 50 -quiet &
 pid=$!
 
 # Wait for the admin listener.
@@ -63,4 +70,60 @@ if ! printf '%s\n' "$metrics" | grep -q "^pnsched_tasks_submitted_total 50$"; th
 	exit 1
 fi
 
+kill "$pid" 2>/dev/null || true
+pid=
+
 echo "adminsmoke: /healthz and /metrics OK on $addr"
+
+# ---- phase 2: the job dispatcher ----
+
+jobsaddr=${ADMINSMOKE_JOBS_ADDR:-127.0.0.1:19725}
+jobsadmin=${ADMINSMOKE_JOBS_ADMIN:-127.0.0.1:19726}
+jobsbase="http://$jobsadmin"
+
+"$bindir/pnserver" -jobs -listen "$jobsaddr" -admin "$jobsadmin" \
+	-policy fair -weights 'gold=3,free=1' -quiet &
+jobspid=$!
+
+i=0
+until fetch "$jobsbase/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "adminsmoke: dispatcher admin endpoint $jobsadmin never came up" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+"$bindir/pnworker" -connect "$jobsaddr" -rate 200 -timescale 0.0002 &
+workerpid=$!
+
+"$bindir/pnjobs" -addr "$jobsaddr" submit -tenant gold -tasks 40 -wait >/dev/null
+
+metrics=$(fetch "$jobsbase/metrics")
+for family in \
+	pnsched_jobs_submitted_total \
+	pnsched_jobs_finished_total \
+	pnsched_jobs_tasks_completed_total \
+	pnsched_jobs_batches_total \
+	pnsched_jobs_workers \
+	pnsched_jobs_queue_depth; do
+	if ! printf '%s\n' "$metrics" | grep -q "^# TYPE $family "; then
+		echo "adminsmoke: dispatcher /metrics missing family $family" >&2
+		printf '%s\n' "$metrics" | head -20 >&2
+		exit 1
+	fi
+done
+for want in \
+	'^pnsched_jobs_submitted_total 1$' \
+	'^pnsched_jobs_finished_total{state="done"} 1$' \
+	'^pnsched_jobs_tasks_completed_total 40$' \
+	'^pnsched_jobs_workers 1$'; do
+	if ! printf '%s\n' "$metrics" | grep -q "$want"; then
+		echo "adminsmoke: dispatcher /metrics does not match $want" >&2
+		printf '%s\n' "$metrics" | grep '^pnsched_jobs' >&2 || true
+		exit 1
+	fi
+done
+
+echo "adminsmoke: dispatcher ran 1 job and exported pnsched_jobs_* on $jobsadmin"

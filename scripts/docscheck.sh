@@ -93,6 +93,43 @@ for m in stats trace; do
 	fi
 done
 
+# The job exchanges (1.3) likewise: each message pins its reply golden
+# which the spec must cite, and shows a request example. The in-band
+# error form has its own golden.
+for m in job_submit job_status job_cancel job_result; do
+	golden=internal/dist/testdata/golden/${m}_reply.json
+	if [ ! -f "$golden" ]; then
+		echo "docscheck: message type \"$m\" has no reply golden $golden" >&2
+		status=1
+	elif ! grep -qF "${m}_reply.json" "$spec"; then
+		echo "docscheck: $spec does not cite the ${m}_reply.json golden" >&2
+		status=1
+	elif ! grep -qF "{\"type\":\"$m\"" "$spec"; then
+		echo "docscheck: $spec shows no \"$m\" request example" >&2
+		status=1
+	fi
+done
+if [ ! -f internal/dist/testdata/golden/job_error_reply.json ]; then
+	echo "docscheck: the job error form has no golden job_error_reply.json" >&2
+	status=1
+elif ! grep -qF "job_error_reply.json" "$spec"; then
+	echo "docscheck: $spec does not cite the job_error_reply.json golden" >&2
+	status=1
+fi
+
+# Every job state the dispatcher defines must appear in the spec's
+# state-machine prose (and vice versa is covered by the constants
+# being the single source the dispatcher runs on).
+jobsrc=internal/jobs/jobs.go
+states=$(sed -n 's/^[[:space:]]*State[A-Za-z]* *= *"\([a-z]*\)".*/\1/p' "$jobsrc")
+[ -n "$states" ] || { echo "docscheck: no job states found in $jobsrc" >&2; exit 1; }
+for s in $states; do
+	if ! grep -qF "\`$s\`" "$spec"; then
+		echo "docscheck: job state \"$s\" ($jobsrc) is missing from $spec" >&2
+		status=1
+	fi
+done
+
 if [ "$status" -eq 0 ]; then
 	echo "docscheck: README.md and docs/wire-protocol.md agree with $proto ($(printf '%s\n' "$types" | wc -l | tr -d ' ') message types, $(printf '%s\n' "$kinds" | wc -l | tr -d ' ') event kinds)"
 fi

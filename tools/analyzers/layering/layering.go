@@ -33,13 +33,13 @@ type Rule struct {
 var Rules = []Rule{
 	{
 		Scope: "cmd/",
-		Deny:  []string{"internal/core", "internal/ga", "internal/dist"},
+		Deny:  []string{"internal/core", "internal/ga", "internal/dist", "internal/jobs"},
 		Reason: "binaries construct schedulers and servers through the public " +
-			"pnsched registry (pnsched.New / Run / Serve / Watch), never the GA internals",
+			"pnsched registry (pnsched.New / Run / Serve / ServeJobs / Watch), never the GA internals",
 	},
 	{
 		Scope: "examples/",
-		Deny:  []string{"internal/core", "internal/ga", "internal/dist"},
+		Deny:  []string{"internal/core", "internal/ga", "internal/dist", "internal/jobs"},
 		Reason: "examples demonstrate the public API surface; importing the " +
 			"internals would document a construction path the library does not support",
 	},
@@ -68,15 +68,27 @@ var Rules = []Rule{
 		Reason: "the metrics registry is a pure leaf: any pnsched import would " +
 			"let instrumentation reach back into what it measures",
 	},
+	{
+		Scope: "internal/jobs",
+		Only: []string{
+			"internal/dist", "internal/observe", "internal/sched",
+			"internal/smoothing", "internal/stats", "internal/task",
+			"internal/telemetry", "internal/units",
+		},
+		Reason: "the job dispatcher composes the distribution layer and the " +
+			"scheduling seam; reaching into the GA internals (core, ga, rng) " +
+			"would bypass the scheduler registry its per-job specs go through",
+	},
 }
 
 var Analyzer = &analysis.Analyzer{
 	Name: "layering",
 	Doc: "enforce the repository import DAG (the apicheck layering gate)\n\n" +
-		"cmd/ and examples/ must not import internal/core, internal/ga or\n" +
-		"internal/dist; internal/core must not import internal/dist or\n" +
-		"internal/telemetry; internal/ga, internal/observe and\n" +
-		"internal/telemetry are leaf-like with explicit allowlists.",
+		"cmd/ and examples/ must not import internal/core, internal/ga,\n" +
+		"internal/dist or internal/jobs; internal/core must not import\n" +
+		"internal/dist or internal/telemetry; internal/ga, internal/observe\n" +
+		"and internal/telemetry are leaf-like with explicit allowlists; and\n" +
+		"internal/jobs composes only the dist/sched/observe/telemetry seams.",
 	Run: run,
 }
 

@@ -13,6 +13,7 @@ func TestLayering(t *testing.T) {
 		"pnsched/examples/demo",
 		"pnsched/internal/core",
 		"pnsched/internal/ga",
+		"pnsched/internal/jobs",
 		"pnsched/internal/observe",
 		"pnsched/internal/telemetry",
 	)

@@ -4,9 +4,10 @@ package main
 
 import (
 	"pnsched/internal/core" // want `package cmd/demo must not import internal/core`
+	"pnsched/internal/jobs" // want `package cmd/demo must not import internal/jobs`
 	"pnsched/internal/units"
 )
 
 func main() {
-	_ = core.V + units.V
+	_ = core.V + jobs.V + units.V
 }

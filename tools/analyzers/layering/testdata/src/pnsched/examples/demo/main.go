@@ -4,8 +4,9 @@ package main
 import (
 	"pnsched/internal/dist" // want `package examples/demo must not import internal/dist`
 	"pnsched/internal/ga"   // want `package examples/demo must not import internal/ga`
+	"pnsched/internal/jobs" // want `package examples/demo must not import internal/jobs`
 )
 
 func main() {
-	_ = dist.V + ga.V
+	_ = dist.V + ga.V + jobs.V
 }

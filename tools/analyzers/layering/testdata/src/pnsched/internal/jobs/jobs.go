@@ -1,0 +1,11 @@
+// Package jobs is a layering fixture: the dispatcher composes the
+// distribution and observation seams but must not reach the GA core.
+package jobs
+
+import (
+	"pnsched/internal/core" // want `package internal/jobs must not import internal/core`
+	"pnsched/internal/dist"
+	"pnsched/internal/observe"
+)
+
+var V = core.V + dist.V + observe.V

@@ -137,6 +137,16 @@ func (c *checker) scanNode(n ast.Node, inNonBlockingSelect bool, onOp func(op), 
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			return false
+		case *ast.GoStmt:
+			// The spawned call runs on its own goroutine, which does
+			// not inherit the caller's lock — but its function and
+			// argument expressions are evaluated here, before the
+			// goroutine starts.
+			c.scanExprCalls(n.Call.Fun, onOp, onCall)
+			for _, arg := range n.Call.Args {
+				c.scanExprCalls(arg, onOp, onCall)
+			}
+			return false
 		case *ast.SelectStmt:
 			nb := hasDefault(n)
 			for _, clause := range n.Body.List {
@@ -359,9 +369,9 @@ func (c *checker) walkStmt(stmt ast.Stmt, held map[string]token.Pos, deferredUnl
 		}
 	case *ast.AssignStmt, *ast.DeclStmt, *ast.ReturnStmt, *ast.IncDecStmt,
 		*ast.SendStmt, *ast.GoStmt:
-		if _, ok := s.(*ast.GoStmt); ok {
-			return deferredUnlock // new goroutine: does not inherit the lock
-		}
+		// For a GoStmt, scanNode skips the spawned call itself (the
+		// new goroutine does not inherit the lock) but still checks
+		// its function and argument expressions, evaluated here.
 		c.checkUnderLock(s, held)
 	case *ast.IfStmt:
 		if s.Init != nil {

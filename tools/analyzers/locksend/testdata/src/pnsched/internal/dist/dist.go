@@ -135,6 +135,39 @@ func (s *Server) goroutineEscapes() {
 	}()
 }
 
+// spawnNotify starts the blocking helper on its own goroutine; the
+// spawn must not taint spawnNotify's summary as blocking.
+func (s *Server) spawnNotify() {
+	go s.notify()
+}
+
+func (s *Server) spawnsViaHelperUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spawnNotify() // the spawned call runs off-lock: fine
+}
+
+func (s *Server) spawnsNamedUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.notify() // the goroutine, not this one, does the sending
+}
+
+// produce blocks; as a `go` argument it is still evaluated by the
+// spawning goroutine, under whatever lock that goroutine holds.
+func (s *Server) produce() int {
+	s.ch <- 1
+	return s.n
+}
+
+func (s *Server) consume(int) {}
+
+func (s *Server) goArgsEvaluateUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.consume(s.produce()) // want `calls produce, which sends on a channel while s\.mu is held`
+}
+
 func (s *Server) deferAfterDeferredUnlock() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
