@@ -18,7 +18,10 @@
 // that accepts jobs over the wire — each carrying its own scheduler
 // spec, tenant and priority — admits them under -policy, and leases
 // the connected workers to the active job. Jobs are submitted and
-// managed with the pnjobs command.
+// managed with the pnjobs command. With -journal the dispatcher's job
+// state is durable: transitions are journaled under the given
+// directory before they are acknowledged, and a restart pointed at
+// the same directory replays them (docs/job-journal.md).
 //
 // Usage:
 //
@@ -31,7 +34,7 @@
 //	curl localhost:9090/metrics
 //	pnserver -schedulers
 //
-//	pnserver -jobs -listen :9000 -policy fair -weights 'gold=3,free=1' &
+//	pnserver -jobs -listen :9000 -policy fair -weights 'gold=3,free=1' -journal /var/lib/pnsched &
 //	pnworker -connect localhost:9000 -rate 100 &
 //	pnjobs -addr localhost:9000 submit -tenant gold -tasks 200 -wait
 package main
@@ -75,6 +78,7 @@ func main() {
 		weights   = flag.String("weights", "", "fair-share tenant weights as tenant=weight,... (with -jobs -policy fair)")
 		maxActive = flag.Int("max-active", 0, "concurrently running jobs; 0 keeps the default of 1 (with -jobs)")
 		retry     = flag.Int("retry-budget", 0, "default per-job task-reissue budget; 0 keeps the package default (with -jobs)")
+		journal   = flag.String("journal", "", "journal job state under this directory and replay it on restart (with -jobs)")
 	)
 	flag.Parse()
 
@@ -95,7 +99,7 @@ func main() {
 		return
 	}
 	if *jobsMode {
-		jobsMain(*listen, *admin, *policy, *weights, *maxActive, *retry, *quiet)
+		jobsMain(*listen, *admin, *policy, *weights, *journal, *maxActive, *retry, *quiet)
 		return
 	}
 
@@ -210,7 +214,7 @@ func main() {
 // jobsMain runs the multi-tenant job dispatcher until interrupted:
 // workers connect exactly as they do to the single-workload server,
 // and jobs arrive over the wire from pnjobs clients.
-func jobsMain(listen, admin, policy, weights string, maxActive, retry int, quiet bool) {
+func jobsMain(listen, admin, policy, weights, journal string, maxActive, retry int, quiet bool) {
 	level := slog.LevelInfo
 	if quiet {
 		level = slog.LevelWarn
@@ -248,6 +252,9 @@ func jobsMain(listen, admin, policy, weights string, maxActive, retry int, quiet
 	}
 	if admin != "" {
 		opts = append(opts, pnsched.WithJobsAdminAddr(admin))
+	}
+	if journal != "" {
+		opts = append(opts, pnsched.WithJobsJournal(journal))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -192,6 +192,7 @@ func (d *Dispatcher) handleDone(w *worker, wid int32, elapsed units.Seconds, rea
 	d.met.tasksCompleted.Inc()
 	j := p.j
 	j.completed++
+	j.servedWork += float64(p.t.Size)
 	j.elapsedSum += float64(elapsed)
 	tally := j.perWorker[w.name]
 	if tally == nil {
@@ -200,6 +201,7 @@ func (d *Dispatcher) handleDone(w *worker, wid int32, elapsed units.Seconds, rea
 	}
 	tally.tasks++
 	tally.work += p.t.Size
+	d.journalTaskLocked(j, w.name, p.t, elapsed)
 	lat := now.Sub(p.sentAt).Seconds()
 	d.observeLatencyLocked(lat)
 	d.met.dispatchLatency.Observe(lat)
@@ -274,6 +276,7 @@ func (d *Dispatcher) unregister(w *worker) {
 		sort.Slice(ts, func(a, b int) bool { return ts[a].ID < ts[b].ID })
 		j.queue.PushAll(ts)
 		j.retries += len(ts)
+		d.journalRetryLocked(j, len(ts))
 		total += len(ts)
 		if j.retries > j.budget {
 			ems = append(ems, d.finishLocked(j, StateFailed,

@@ -1,0 +1,22 @@
+package jobs
+
+// MarkServedForTest records a running job's admission charge as fully
+// served, so a subsequent Cancel refunds nothing. The workerless
+// admission-order tests use it to walk the stride schedule as if each
+// admitted job had run to completion — without it, cancelling would
+// (correctly) refund the whole charge and the walk would observe the
+// refund path instead of the steady-state stride order.
+func (d *Dispatcher) MarkServedForTest(id string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j, ok := d.jobsByID[id]; ok {
+		j.servedWork = j.charge
+	}
+}
+
+// ServedForTest reads a tenant's fair-share ledger value.
+func (d *Dispatcher) ServedForTest(tenant string) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.served[tenant]
+}

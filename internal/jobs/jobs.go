@@ -29,6 +29,7 @@ import (
 	"log/slog"
 	"math"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -96,7 +97,16 @@ const (
 	// DefaultTenant is the accounting tenant of submissions that name
 	// none.
 	DefaultTenant = "default"
+	// DefaultSnapshotEvery is the journal snapshot cadence (appended
+	// records between snapshots) when Config.SnapshotEvery is zero.
+	DefaultSnapshotEvery = 256
 )
+
+// DefaultRetainGrace is how long a just-finished job is immune from
+// retention eviction when Config.RetainGrace is zero: long enough for
+// a client polling `pnjobs submit -wait` (500ms cadence) to observe
+// the terminal state before the job can be evicted.
+const DefaultRetainGrace = 5 * time.Second
 
 // Config configures a Dispatcher.
 type Config struct {
@@ -118,9 +128,30 @@ type Config struct {
 	// RetryBudget is the default per-job reissue allowance for
 	// submissions that carry none; 0 selects DefaultRetryBudget.
 	RetryBudget int
-	// Retain bounds how many terminal jobs stay queryable; 0 selects
-	// DefaultRetain.
+	// Retain bounds how many terminal jobs stay queryable. The zero
+	// value selects DefaultRetain (256); a negative value retains no
+	// terminal jobs beyond the RetainGrace window — the sentinel
+	// convention (0 = package default, negative = minimum) the GA
+	// config established.
 	Retain int
+	// RetainGrace is how long a terminal job is immune from retention
+	// eviction, so a client that polls for a job it just submitted
+	// cannot see it evaporate between finishing and the next poll; 0
+	// selects DefaultRetainGrace, negative disables the grace.
+	RetainGrace time.Duration
+	// JournalDir, when non-empty, makes job state durable: every state
+	// transition is appended to an append-only JSON-lines journal in
+	// this directory before it is acknowledged over the wire, periodic
+	// snapshots bound replay, and New replays snapshot+journal on
+	// startup — job IDs are stable across a restart, terminal jobs
+	// stay queryable, queued jobs keep their tenant's virtual time,
+	// and running jobs are re-queued with one retry spent. See
+	// docs/job-journal.md.
+	JournalDir string
+	// SnapshotEvery is the journal snapshot cadence in appended
+	// records; 0 selects DefaultSnapshotEvery, negative disables
+	// periodic snapshots (one is still written after each recovery).
+	SnapshotEvery int
 	// Log receives structured serving logs. Nil disables logging.
 	Log *slog.Logger
 	// Observer, when non-nil, receives the dispatcher's events —
@@ -155,12 +186,20 @@ type job struct {
 	state     string
 	queue     *task.Queue // unscheduled tasks (including reissues)
 	total     int
-	totalWork units.MFlops
 	completed int
 	retries   int
 	budget    int
 	errMsg    string
 	leased    int // workers currently leased to this job
+
+	// Fair-share accounting for the admission charge: charge is what
+	// the tenant's ledger was charged at admission (the job's
+	// unscheduled work then), servedWork the portion actually served
+	// since. finishLocked refunds the difference so a job cancelled or
+	// failed mid-run cannot leave its tenant charged for work never
+	// done.
+	charge     float64
+	servedWork float64
 
 	submittedAt time.Time
 	startedAt   time.Time
@@ -195,15 +234,16 @@ type emits []event
 // Dispatcher is the multi-tenant job service. Create with New; all
 // methods are safe for concurrent use.
 type Dispatcher struct {
-	cfg      Config
-	policy   Policy
-	nu       float64
-	backlog  int
-	maxAct   int
-	retain   int
-	log      *slog.Logger
-	met      *jobMetrics
-	observer observe.Observer // cfg.Observer fanned with cfg.Events
+	cfg         Config
+	policy      Policy
+	nu          float64
+	backlog     int
+	maxAct      int
+	retain      int
+	retainGrace time.Duration
+	log         *slog.Logger
+	met         *jobMetrics
+	observer    observe.Observer // cfg.Observer fanned with cfg.Events
 
 	mu      sync.Mutex
 	cond    *sync.Cond // broadcast on every state change
@@ -222,6 +262,11 @@ type Dispatcher struct {
 	// served is the fair-share ledger: admitted work (MFLOPs) per
 	// tenant; virtual time is served/weight.
 	served map[string]float64
+
+	// jour is the open journal when Config.JournalDir is set;
+	// replaySec is how long the startup replay took (for telemetry).
+	jour      *journal
+	replaySec float64
 
 	// Cumulative counters for Snapshot and metrics.
 	tasksSubmitted int
@@ -266,16 +311,17 @@ func New(cfg Config) (*Dispatcher, error) {
 		return nil, fmt.Errorf("jobs: negative RetryBudget %d", cfg.RetryBudget)
 	}
 	d := &Dispatcher{
-		cfg:      cfg,
-		policy:   policy,
-		nu:       cfg.Nu,
-		backlog:  cfg.Backlog,
-		maxAct:   cfg.MaxActive,
-		retain:   cfg.Retain,
-		log:      cfg.Log,
-		jobsByID: map[string]*job{},
-		served:   map[string]float64{},
-		start:    time.Now(),
+		cfg:         cfg,
+		policy:      policy,
+		nu:          cfg.Nu,
+		backlog:     cfg.Backlog,
+		maxAct:      cfg.MaxActive,
+		retain:      cfg.Retain,
+		retainGrace: cfg.RetainGrace,
+		log:         cfg.Log,
+		jobsByID:    map[string]*job{},
+		served:      map[string]float64{},
+		start:       time.Now(),
 	}
 	if d.nu == 0 {
 		d.nu = dist.DefaultNu
@@ -286,8 +332,17 @@ func New(cfg Config) (*Dispatcher, error) {
 	if d.maxAct == 0 {
 		d.maxAct = DefaultMaxActive
 	}
-	if d.retain == 0 {
+	switch {
+	case d.retain == 0:
 		d.retain = DefaultRetain
+	case d.retain < 0:
+		d.retain = 0
+	}
+	switch {
+	case d.retainGrace == 0:
+		d.retainGrace = DefaultRetainGrace
+	case d.retainGrace < 0:
+		d.retainGrace = 0
 	}
 	if d.log == nil {
 		d.log = slog.New(slog.DiscardHandler)
@@ -302,6 +357,22 @@ func New(cfg Config) (*Dispatcher, error) {
 		d.met = &jobMetrics{}
 	}
 	d.cond = sync.NewCond(&d.mu)
+	if cfg.JournalDir != "" {
+		every := cfg.SnapshotEvery
+		switch {
+		case every == 0:
+			every = DefaultSnapshotEvery
+		case every < 0:
+			every = 0
+		}
+		d.mu.Lock()
+		ems, err := d.recover(cfg.JournalDir, every)
+		d.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		d.emit(ems)
+	}
 	return d, nil
 }
 
@@ -403,13 +474,13 @@ func (d *Dispatcher) Submit(sub dist.JobSubmission) (dist.JobInfo, error) {
 		perWorker:   map[string]*workerTally{},
 	}
 	j.queue.PushAll(ts)
-	j.totalWork = j.queue.TotalSize()
 	d.liftTenantLocked(tenant) // before j joins the queues and looks live
 	d.jobsByID[j.id] = j
 	d.order = append(d.order, j)
 	d.pending = append(d.pending, j)
 	d.tasksSubmitted += j.total
 	d.met.submitted.Inc()
+	d.journalSubmitLocked(j)
 	ems := emits{{queued: &observe.JobQueued{
 		ID:       j.id,
 		Tenant:   j.tenant,
@@ -519,9 +590,15 @@ func (d *Dispatcher) admitLocked(now time.Time) emits {
 		j.state = StateRunning
 		j.startedAt = now
 		d.active = append(d.active, j)
+		// The admission charge is the job's unscheduled work *now* —
+		// identical to its total on first admission, and only the
+		// remainder when a recovered job is re-admitted after a restart.
+		j.charge = float64(j.queue.TotalSize())
+		j.servedWork = 0
 		if d.policy == PolicyFair {
-			d.served[j.tenant] += float64(j.totalWork)
+			d.served[j.tenant] += j.charge
 		}
+		d.journalAdmitLocked(j, now)
 		d.rebalanceLocked()
 		waited := now.Sub(j.submittedAt).Seconds()
 		d.met.schedLatency.Observe(waited)
@@ -593,6 +670,7 @@ func (d *Dispatcher) finishLocked(j *job, state, errMsg string, now time.Time) e
 	}
 	j.leased = 0
 	j.queue.PopN(j.queue.Len()) // drop the unscheduled remainder
+	d.refundLocked(j)
 	switch state {
 	case StateDone:
 		d.doneCount++
@@ -604,6 +682,7 @@ func (d *Dispatcher) finishLocked(j *job, state, errMsg string, now time.Time) e
 		d.cancelCount++
 		d.met.finishedCancelled.Inc()
 	}
+	d.journalFinishLocked(j, now)
 	var dur float64
 	if !j.startedAt.IsZero() {
 		dur = now.Sub(j.startedAt).Seconds()
@@ -617,16 +696,39 @@ func (d *Dispatcher) finishLocked(j *job, state, errMsg string, now time.Time) e
 		Duration:  units.Seconds(dur),
 		At:        d.sinceStart(now),
 	}}}
-	d.trimLocked()
+	d.trimLocked(now)
 	ems = append(ems, d.admitLocked(now)...)
 	d.rebalanceLocked()
 	d.cond.Broadcast()
 	return ems
 }
 
+// refundLocked returns a job's unserved admission charge to its
+// tenant's fair-share ledger: a job cancelled or failed mid-run was
+// charged for its whole remaining work up front, and without the
+// refund the tenant's next job would be unfairly delayed by work that
+// was never served. A job that ran to completion has served exactly
+// its charge, so the refund degenerates to (float-dust) zero. Caller
+// holds mu; idempotent because the charge is zeroed.
+func (d *Dispatcher) refundLocked(j *job) {
+	if d.policy == PolicyFair && j.charge > 0 {
+		if refund := j.charge - j.servedWork; refund > 0 {
+			if s := d.served[j.tenant] - refund; s > 0 {
+				d.served[j.tenant] = s
+			} else {
+				d.served[j.tenant] = 0
+			}
+		}
+	}
+	j.charge, j.servedWork = 0, 0
+}
+
 // trimLocked evicts the oldest terminal jobs beyond the retention cap
-// so a long-lived dispatcher's memory stays bounded. Caller holds mu.
-func (d *Dispatcher) trimLocked() {
+// so a long-lived dispatcher's memory stays bounded. Jobs inside the
+// retain-grace window are never evicted, whatever the cap: a client
+// polling for the job it just submitted must be able to read the
+// terminal state at least once. Caller holds mu.
+func (d *Dispatcher) trimLocked(now time.Time) {
 	terminal := 0
 	for _, j := range d.order {
 		if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
@@ -635,7 +737,8 @@ func (d *Dispatcher) trimLocked() {
 	}
 	for i := 0; terminal > d.retain && i < len(d.order); {
 		j := d.order[i]
-		if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+		if (j.state == StateDone || j.state == StateFailed || j.state == StateCancelled) &&
+			now.Sub(j.finishedAt) >= d.retainGrace {
 			delete(d.jobsByID, j.id)
 			d.order = append(d.order[:i], d.order[i+1:]...)
 			terminal--
@@ -943,8 +1046,17 @@ func (d *Dispatcher) Close() error {
 	for i, w := range d.workers {
 		conns[i] = w.conn
 	}
+	var jf *os.File
+	if d.jour != nil {
+		jf = d.jour.f
+		d.jour = nil // journaled state stays on disk for the next New
+	}
 	d.cond.Broadcast()
 	d.mu.Unlock()
+
+	if jf != nil {
+		jf.Close()
+	}
 
 	if ln != nil {
 		ln.Close()

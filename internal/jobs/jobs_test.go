@@ -46,7 +46,11 @@ func runningJob(t *testing.T, d *jobs.Dispatcher) string {
 // dispatcher and walks the admission order by cancelling whichever job
 // is running until the queue drains. With MaxActive=1 and no workers,
 // exactly one job runs at a time and never finishes on its own, so the
-// observed sequence is precisely the policy's ordering.
+// observed sequence is precisely the policy's ordering. Each job is
+// marked fully served before its cancel so the fair-share ledger keeps
+// the admission charge, as if the job ran to completion (cancelling an
+// unserved job refunds its charge — TestFairShareRefundOnCancel pins
+// that separately).
 func admissionOrder(t *testing.T, cfg jobs.Config, subs []dist.JobSubmission) []string {
 	t.Helper()
 	cfg.NewScheduler = testFactory
@@ -74,6 +78,7 @@ func admissionOrder(t *testing.T, cfg jobs.Config, subs []dist.JobSubmission) []
 			t.Fatalf("no running job after %v", order)
 		}
 		order = append(order, ids[id])
+		d.MarkServedForTest(id)
 		if _, err := d.Cancel(id); err != nil {
 			t.Fatalf("Cancel(%s): %v", id, err)
 		}
@@ -157,6 +162,7 @@ func TestFairShareLiftsReturningTenant(t *testing.T) {
 		if got != id {
 			t.Fatalf("step %d: running %s, want %s", i, got, id)
 		}
+		d.MarkServedForTest(got) // keep the charge: served, not refunded
 		if _, err := d.Cancel(got); err != nil {
 			t.Fatalf("Cancel: %v", err)
 		}
@@ -254,7 +260,9 @@ func TestWaitTimesOut(t *testing.T) {
 }
 
 func TestRetentionEvictsOldTerminalJobs(t *testing.T) {
-	d, err := jobs.New(jobs.Config{NewScheduler: testFactory, Retain: 2})
+	// Grace disabled: this test pins the cap itself, TestRetainGrace*
+	// pin the grace window.
+	d, err := jobs.New(jobs.Config{NewScheduler: testFactory, Retain: 2, RetainGrace: -1})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -279,5 +287,99 @@ func TestRetentionEvictsOldTerminalJobs(t *testing.T) {
 	}
 	if got := len(d.Queue()); got != 2 {
 		t.Errorf("retained %d jobs, want 2", got)
+	}
+}
+
+func TestFairShareRefundOnCancel(t *testing.T) {
+	// Regression for the admission-charge leak: tenant a's big job is
+	// charged 300 at admission and then cancelled with nothing served.
+	// Without the refund, the dead charge leaves vt_a at 300 and b's
+	// queued job (vt_b lifted to 300, earlier submission wins the tie)
+	// would cut ahead of a's next job; with it, a2 admits first and
+	// the post-drain ledger is clean.
+	d, err := jobs.New(jobs.Config{
+		NewScheduler: testFactory,
+		Policy:       jobs.PolicyFair,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer d.Close()
+
+	a1, _ := d.Submit(oneTask("a", 300)) // running; vt_a = 300
+	b1, _ := d.Submit(oneTask("b", 100)) // lifted level: vt_b = 300
+	a2, _ := d.Submit(oneTask("a", 100))
+
+	if _, err := d.Cancel(a1.ID); err != nil { // nothing served: full refund, vt_a = 0
+		t.Fatalf("Cancel(%s): %v", a1.ID, err)
+	}
+	if got := runningJob(t, d); got != a2.ID {
+		t.Fatalf("after refunded cancel %s runs, want %s (refund missing?)", got, a2.ID)
+	}
+	// The ledger kept nothing of a1's 300: only a2's fresh admission
+	// charge of 100 remains.
+	if got := d.ServedForTest("a"); got != 100 {
+		t.Fatalf("tenant a ledger %v after refund + a2 admission, want 100", got)
+	}
+	d.MarkServedForTest(a2.ID)
+	if _, err := d.Cancel(a2.ID); err != nil {
+		t.Fatalf("Cancel(%s): %v", a2.ID, err)
+	}
+	if got := runningJob(t, d); got != b1.ID {
+		t.Fatalf("after a drained %s runs, want %s", got, b1.ID)
+	}
+}
+
+func TestRetainGraceShieldsFreshFinishers(t *testing.T) {
+	// Regression for the retention-vs-wait race: with the smallest
+	// possible retention a just-cancelled job must still answer Status
+	// (a polling `pnjobs submit -wait` client reads the terminal state
+	// at least once) — the grace window shields it from eviction.
+	d, err := jobs.New(jobs.Config{NewScheduler: testFactory, Retain: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer d.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		info, err := d.Submit(oneTask("a", 100))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ids = append(ids, info.ID)
+		if _, err := d.Cancel(info.ID); err != nil {
+			t.Fatalf("Cancel: %v", err)
+		}
+	}
+	for _, id := range ids {
+		info, err := d.Status(id)
+		if err != nil {
+			t.Errorf("fresh terminal job %s already evicted: %v", id, err)
+		} else if info.State != jobs.StateCancelled {
+			t.Errorf("job %s in state %s, want cancelled", id, info.State)
+		}
+	}
+}
+
+func TestRetainSentinel(t *testing.T) {
+	// Retain adopts the config sentinel convention: 0 selects the
+	// package default, negative means "retain none" (eviction as soon
+	// as the grace passes — here disabled, so immediately).
+	d, err := jobs.New(jobs.Config{NewScheduler: testFactory, Retain: -1, RetainGrace: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer d.Close()
+
+	first, _ := d.Submit(oneTask("a", 100))
+	if _, err := d.Cancel(first.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if _, err := d.Status(first.ID); err == nil {
+		t.Errorf("job %s retained with Retain -1 and no grace", first.ID)
+	}
+	if got := len(d.Queue()); got != 0 {
+		t.Errorf("retained %d jobs, want 0", got)
 	}
 }

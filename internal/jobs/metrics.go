@@ -18,6 +18,9 @@ type jobMetrics struct {
 	dispatched        *telemetry.Counter
 	batchesTotal      *telemetry.Counter
 	decodeErrors      *telemetry.Counter
+	journalRecords    *telemetry.Counter
+	journalBytes      *telemetry.Counter
+	journalSnapshots  *telemetry.Counter
 
 	schedLatency    *telemetry.Histogram
 	dispatchLatency *telemetry.Histogram
@@ -51,6 +54,12 @@ func newJobMetrics(reg *telemetry.Registry, d *Dispatcher) *jobMetrics {
 			"Committed batch-scheduling decisions across all jobs."),
 		decodeErrors: reg.Counter("pnsched_jobs_protocol_decode_errors_total",
 			"Malformed or invalid wire frames received by the dispatcher."),
+		journalRecords: reg.Counter("pnsched_jobs_journal_records_total",
+			"State-transition records appended to the job journal."),
+		journalBytes: reg.Counter("pnsched_jobs_journal_bytes_total",
+			"Bytes appended to the job journal."),
+		journalSnapshots: reg.Counter("pnsched_jobs_journal_snapshots_total",
+			"Journal snapshots written (each truncates the replayed history)."),
 		schedLatency: reg.Histogram("pnsched_jobs_scheduling_latency_seconds",
 			"Submission-to-start wait per job (time spent queued).",
 			telemetry.ExpBuckets(0.001, 4, 10)),
@@ -103,6 +112,12 @@ func newJobMetrics(reg *telemetry.Registry, d *Dispatcher) *jobMetrics {
 				})
 			}
 			return out
+		})
+	reg.GaugeFunc("pnsched_jobs_journal_replay_seconds",
+		"How long the startup journal replay took; 0 without a journal.", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return d.replaySec
 		})
 	reg.GaugeFunc("pnsched_jobs_workers",
 		"Currently connected workers in the dispatcher pool.", func() float64 {

@@ -95,6 +95,7 @@ type jobsOpts struct {
 	maxActive int
 	retry     int
 	retain    int
+	journal   string
 	nu        float64
 	backlog   int
 	queue     int
@@ -147,6 +148,16 @@ func WithJobRetryBudget(n int) JobsOption { return func(o *jobsOpts) { o.retry =
 // WithJobRetention bounds how many terminal jobs stay queryable via
 // status/result; 0 selects the default (256).
 func WithJobRetention(n int) JobsOption { return func(o *jobsOpts) { o.retain = n } }
+
+// WithJobsJournal makes the dispatcher's job state durable: every
+// state transition is appended to a journal under dir before the
+// operation is acknowledged, and a restart pointed at the same dir
+// replays it — queued jobs re-enter the queue with their tenant
+// fair-share standing intact, jobs interrupted mid-run are re-queued
+// with one retry spent, terminal jobs stay queryable, and job IDs
+// keep counting where they left off. The default is no journal
+// (state is lost on restart). See docs/job-journal.md.
+func WithJobsJournal(dir string) JobsOption { return func(o *jobsOpts) { o.journal = dir } }
 
 // WithJobsSmoothing sets the §3.6 smoothing factor for worker rate and
 // link estimates (0 selects the paper's 0.5).
@@ -242,6 +253,7 @@ func ServeJobs(ctx context.Context, opts ...JobsOption) (*JobService, error) {
 		MaxActive:   jo.maxActive,
 		RetryBudget: jo.retry,
 		Retain:      jo.retain,
+		JournalDir:  jo.journal,
 		Log:         jo.log,
 		Observer:    local,
 		Events:      events,

@@ -167,7 +167,7 @@ func TestJobServiceEndToEnd(t *testing.T) {
 	// The admin endpoint exposes the pnsched_jobs_* families.
 	metrics := parsePrometheus(t, scrapeMetrics(t, "http://"+svc.AdminAddr().String()))
 	for name, want := range map[string]float64{
-		"pnsched_jobs_submitted_total": 9,
+		"pnsched_jobs_submitted_total":                   9,
 		`pnsched_jobs_finished_total{state="done"}`:      8,
 		`pnsched_jobs_finished_total{state="cancelled"}`: 1,
 		"pnsched_jobs_tasks_completed_total":             8 * 12,

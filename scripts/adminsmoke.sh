@@ -10,6 +10,12 @@
 # Phase 2 does the same for the job dispatcher: pnserver -jobs plus
 # one pnworker, a job submitted and run to completion with pnjobs,
 # and the pnsched_jobs_* families asserted non-zero on /metrics.
+#
+# Phase 3 proves the job journal survives a real crash: a dispatcher
+# started with -journal runs a job to completion, dies by kill -9,
+# restarts on the same directory, and must still answer pnjobs status
+# for the pre-kill job — with the pnsched_jobs_journal_* metrics
+# non-zero on the restarted instance.
 # Run via `make admin-smoke`.
 set -eu
 
@@ -127,3 +133,84 @@ for want in \
 done
 
 echo "adminsmoke: dispatcher ran 1 job and exported pnsched_jobs_* on $jobsadmin"
+
+kill "$jobspid" 2>/dev/null || true
+kill "$workerpid" 2>/dev/null || true
+jobspid= workerpid=
+wait 2>/dev/null || true
+
+# ---- phase 3: journal crash-restart ----
+
+jrnladdr=${ADMINSMOKE_JOURNAL_ADDR:-127.0.0.1:19727}
+jrnladmin=${ADMINSMOKE_JOURNAL_ADMIN:-127.0.0.1:19728}
+jrnlbase="http://$jrnladmin"
+jrnldir="$bindir/journal"
+
+"$bindir/pnserver" -jobs -listen "$jrnladdr" -admin "$jrnladmin" \
+	-journal "$jrnldir" -quiet &
+jobspid=$!
+
+i=0
+until fetch "$jrnlbase/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "adminsmoke: journaled dispatcher admin $jrnladmin never came up" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+"$bindir/pnworker" -connect "$jrnladdr" -rate 200 -timescale 0.0002 &
+workerpid=$!
+
+jobid=$("$bindir/pnjobs" -addr "$jrnladdr" submit -tasks 40 -wait | awk 'NR==1{print $1}')
+[ -n "$jobid" ] || { echo "adminsmoke: journaled submit printed no job id" >&2; exit 1; }
+
+# The crash: SIGKILL, no shutdown path runs. The journal already holds
+# every acknowledged transition.
+kill -9 "$jobspid" 2>/dev/null || true
+wait "$jobspid" 2>/dev/null || true
+jobspid=
+
+"$bindir/pnserver" -jobs -listen "$jrnladdr" -admin "$jrnladmin" \
+	-journal "$jrnldir" -quiet &
+jobspid=$!
+
+i=0
+until fetch "$jrnlbase/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "adminsmoke: restarted dispatcher admin $jrnladmin never came up" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+status=$("$bindir/pnjobs" -addr "$jrnladdr" status "$jobid")
+if ! printf '%s\n' "$status" | grep -q "state=done"; then
+	echo "adminsmoke: pre-kill job $jobid not done after restart: $status" >&2
+	exit 1
+fi
+
+# A post-restart submission appends fresh records and must get a
+# never-used ID — the counter is durable too.
+newid=$("$bindir/pnjobs" -addr "$jrnladdr" submit -tasks 5 | awk 'NR==1{print $1}')
+if [ -z "$newid" ] || [ "$newid" = "$jobid" ]; then
+	echo "adminsmoke: post-restart submission got id \"$newid\" (pre-kill was $jobid)" >&2
+	exit 1
+fi
+
+metrics=$(fetch "$jrnlbase/metrics")
+for want in \
+	'^pnsched_jobs_journal_records_total [1-9]' \
+	'^pnsched_jobs_journal_bytes_total [1-9]' \
+	'^pnsched_jobs_journal_snapshots_total [1-9]' \
+	'^pnsched_jobs_journal_replay_seconds [0-9.e+-]*[1-9]'; do
+	if ! printf '%s\n' "$metrics" | grep -q "$want"; then
+		echo "adminsmoke: restarted /metrics does not match $want" >&2
+		printf '%s\n' "$metrics" | grep '^pnsched_jobs_journal' >&2 || true
+		exit 1
+	fi
+done
+
+echo "adminsmoke: journaled dispatcher survived kill -9; $jobid still done after restart"

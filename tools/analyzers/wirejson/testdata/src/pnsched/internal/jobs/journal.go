@@ -1,0 +1,40 @@
+// Package jobs is a wirejson fixture shaped like the real
+// journal.go: the durable journal records are serialization contracts
+// exactly like the wire frames, so every exported field must carry
+// its tag — an untagged field would drift into the on-disk format
+// under its Go name, outside docs/job-journal.md and the goldens.
+package jobs
+
+// journalRecord mirrors the real JournalRecord envelope: lsn, kind,
+// one payload pointer per kind.
+type journalRecord struct {
+	LSN    uint64         `json:"lsn"`
+	Kind   string         `json:"kind"`
+	Submit *journalSubmit `json:"submit,omitempty"`
+	Finish *journalFinish `json:"finish,omitempty"`
+}
+
+// journalSubmit forgot to tag the ledger field: flagged.
+type journalSubmit struct {
+	Job    journalJob `json:"job"`
+	Served *float64   // want `exported field Served of wire struct journalSubmit lacks an explicit json tag`
+}
+
+// journalFinish tags an unexported field: dead, flagged.
+type journalFinish struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	at    int64  `json:"at"` // want `json tag "at" on unexported field at of wire struct journalFinish is dead`
+}
+
+// journalJob is fully tagged: quiet.
+type journalJob struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Seq    uint64 `json:"seq"`
+}
+
+var _ = journalRecord{}
+var _ = journalSubmit{}
+var _ = journalFinish{}
+var _ = journalJob{}

@@ -8,5 +8,6 @@ import (
 )
 
 func TestWireJSON(t *testing.T) {
-	analysistest.Run(t, "testdata", wirejson.Analyzer, "pnsched/internal/dist")
+	analysistest.Run(t, "testdata", wirejson.Analyzer,
+		"pnsched/internal/dist", "pnsched/internal/jobs")
 }
